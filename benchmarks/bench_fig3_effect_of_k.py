@@ -1,0 +1,61 @@
+"""Figure 3 — effect of k on ATSQ/OATSQ running time (panels a-d).
+
+Prints the four series tables (ATSQ/OATSQ x LA/NY) over k in {5..25} and
+benchmarks each method at the default k = 9.
+
+Paper shape to compare against: GAT fastest everywhere; IL flat in k (it
+scores the same candidate set regardless); RT/IRT/GAT increase with k.
+"""
+
+import pytest
+
+from repro.bench.experiments import K_VALUES, DEFAULT_K, effect_of_k
+from repro.bench.reporting import format_series_table
+
+
+@pytest.mark.benchmark(group="fig3-full-sweep")
+def test_figure3_sweep(benchmark, la_harness, ny_harness, la_db, ny_db, scale):
+    """Regenerates all four Figure 3 panels; the benchmark time is the cost
+    of the whole sweep."""
+    tables = []
+
+    def run():
+        tables.clear()
+        for label, db, harness in (("LA", la_db, la_harness), ("NY", ny_db, ny_harness)):
+            for order_sensitive, qtype in ((False, "ATSQ"), (True, "OATSQ")):
+                results = effect_of_k(
+                    db, scale, order_sensitive=order_sensitive, harness=harness
+                )
+                tables.append(
+                    format_series_table(
+                        f"Figure 3 — {qtype} on {label}, varying k", results
+                    )
+                )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for table in tables:
+        print(table)
+
+
+@pytest.mark.parametrize("method", ["IL", "RT", "IRT", "GAT"])
+@pytest.mark.benchmark(group="fig3-atsq-la-default-k")
+def test_atsq_default_k(benchmark, la_harness, la_queries, method):
+    searcher = la_harness.searchers[method]
+
+    def run():
+        for q in la_queries:
+            searcher.atsq(q, DEFAULT_K)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("method", ["IL", "RT", "IRT", "GAT"])
+@pytest.mark.benchmark(group="fig3-oatsq-la-default-k")
+def test_oatsq_default_k(benchmark, la_harness, la_queries, method):
+    searcher = la_harness.searchers[method]
+
+    def run():
+        for q in la_queries:
+            searcher.oatsq(q, DEFAULT_K)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

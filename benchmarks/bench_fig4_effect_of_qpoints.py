@@ -1,0 +1,50 @@
+"""Figure 4 — effect of the number of query locations |Q| (panels a-d).
+
+Paper shape: RT/IRT/GAT cost grows with |Q| (more spatial streams to
+expand); IL *decreases* for ATSQ (more required activities -> fewer
+candidates) but increases for OATSQ (the DP's cost in |Q| dominates).
+"""
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_K, effect_of_query_points
+from repro.bench.reporting import format_series_table
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+
+
+@pytest.mark.benchmark(group="fig4-full-sweep")
+def test_figure4_sweep(benchmark, la_harness, ny_harness, la_db, ny_db, scale):
+    tables = []
+
+    def run():
+        tables.clear()
+        for label, db, harness in (("LA", la_db, la_harness), ("NY", ny_db, ny_harness)):
+            for order_sensitive, qtype in ((False, "ATSQ"), (True, "OATSQ")):
+                results = effect_of_query_points(
+                    db, scale, order_sensitive=order_sensitive, harness=harness
+                )
+                tables.append(
+                    format_series_table(
+                        f"Figure 4 — {qtype} on {label}, varying |Q|", results
+                    )
+                )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for table in tables:
+        print(table)
+
+
+@pytest.mark.parametrize("nq", [2, 4, 6])
+@pytest.mark.benchmark(group="fig4-gat-atsq-la")
+def test_gat_atsq_by_query_points(benchmark, la_harness, la_db, scale, nq):
+    gen = QueryWorkloadGenerator(
+        la_db, WorkloadConfig(n_query_points=nq, seed=scale.seed)
+    )
+    queries = gen.queries(scale.n_queries, n_query_points=nq)
+    gat = la_harness.searchers["GAT"]
+
+    def run():
+        for q in queries:
+            gat.atsq(q, DEFAULT_K)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

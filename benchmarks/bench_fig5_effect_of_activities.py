@@ -1,0 +1,62 @@
+"""Figure 5 — effect of activities per query location |q.Φ| (panels a-d).
+
+Paper shape: every activity-aware method (IL, IRT, GAT) gets *faster* as
+|q.Φ| grows (more selective candidates); RT is insensitive at retrieval
+(activity-blind) and only mildly affected through validation.
+"""
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_K, effect_of_activities
+from repro.bench.reporting import format_series_table
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+
+
+@pytest.mark.benchmark(group="fig5-full-sweep")
+def test_figure5_sweep(benchmark, la_harness, ny_harness, la_db, ny_db, scale):
+    tables = []
+
+    def run():
+        tables.clear()
+        _collect(tables, la_harness, ny_harness, la_db, ny_db, scale)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for table in tables:
+        print(table)
+
+
+def _collect(tables, la_harness, ny_harness, la_db, ny_db, scale):
+    for label, db, harness in (("LA", la_db, la_harness), ("NY", ny_db, ny_harness)):
+        for order_sensitive, qtype in ((False, "ATSQ"), (True, "OATSQ")):
+            results = effect_of_activities(
+                db, scale, order_sensitive=order_sensitive, harness=harness
+            )
+            tables.append(
+                format_series_table(
+                    f"Figure 5 — {qtype} on {label}, varying |q.phi|", results
+                )
+            )
+            tables.append(
+                format_series_table(
+                    f"Figure 5 (candidates/query) — {qtype} on {label}",
+                    results,
+                    value="candidates",
+                    unit="cands",
+                )
+            )
+
+
+@pytest.mark.parametrize("na", [1, 3, 5])
+@pytest.mark.benchmark(group="fig5-il-atsq-la")
+def test_il_atsq_by_activities(benchmark, la_harness, la_db, scale, na):
+    gen = QueryWorkloadGenerator(
+        la_db, WorkloadConfig(n_activities_per_point=na, seed=scale.seed)
+    )
+    queries = gen.queries(scale.n_queries, n_activities_per_point=na)
+    il = la_harness.searchers["IL"]
+
+    def run():
+        for q in queries:
+            il.atsq(q, DEFAULT_K)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,64 @@
+"""Figure 7 — scalability in the dataset size |D| (panels a, b).
+
+The paper samples the NY dataset from 10K to ~50K trajectories; we sample
+our NY-like dataset over a proportional range.  Paper shape: every method
+grows ~linearly, GAT with the smallest slope — equivalently, the GAT:IL
+ratio improves as |D| grows (the neighbourhood a query inspects is a
+shrinking fraction of the database).
+"""
+
+import pytest
+
+from repro.bench.experiments import effect_of_dataset_size
+from repro.bench.reporting import format_series_table
+
+
+def _sizes(db):
+    n = len(db)
+    # Five sizes from 20% to 100%, mirroring the paper's 10K..50K ladder.
+    return [max(50, int(n * f)) for f in (0.2, 0.4, 0.6, 0.8, 1.0)]
+
+
+@pytest.mark.benchmark(group="fig7-full-sweep")
+def test_figure7_sweep(benchmark, ny_db, scale):
+    tables = []
+
+    def run():
+        tables.clear()
+        for order_sensitive, qtype in ((False, "ATSQ"), (True, "OATSQ")):
+            results = effect_of_dataset_size(
+                ny_db, scale, sizes=_sizes(ny_db), order_sensitive=order_sensitive
+            )
+            tables.append(
+                format_series_table(
+                    f"Figure 7 — {qtype} on NY samples, varying |D|", results
+                )
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for table in tables:
+        print(table)
+
+
+@pytest.mark.benchmark(group="fig7-gat-atsq-scaling")
+@pytest.mark.parametrize("fraction", [0.25, 1.0])
+def test_gat_atsq_at_size(benchmark, ny_db, scale, fraction):
+    import random
+
+    from repro.bench.experiments import DEFAULT_K
+    from repro.bench.harness import ExperimentHarness
+    from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+
+    from conftest import bench_gat_config
+
+    db = ny_db.sample(max(50, int(len(ny_db) * fraction)), random.Random(scale.seed))
+    harness = ExperimentHarness(db, gat_config=bench_gat_config(), methods=("GAT",))
+    gen = QueryWorkloadGenerator(db, WorkloadConfig(seed=scale.seed))
+    queries = gen.queries(scale.n_queries)
+    gat = harness.searchers["GAT"]
+
+    def run():
+        for q in queries:
+            gat.atsq(q, DEFAULT_K)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,50 @@
+"""Table IV — dataset statistics.
+
+Regenerates the paper's Table IV for the synthetic LA/NY datasets at the
+benchmark scale, and benchmarks dataset generation + index construction.
+Compare the printed ratios (NY/LA trajectories, activities per trajectory)
+with the paper's: 49,027/31,557 = 1.55 and ~100 vs ~42 occurrences per
+trajectory.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_stat_table
+from repro.index.gat.index import GATIndex
+
+from conftest import bench_gat_config
+
+
+@pytest.mark.benchmark(group="table4-statistics")
+def test_print_table4(benchmark, la_db, ny_db):
+    stats_by_name = {}
+
+    def run():
+        for name, db in (("LA", la_db), ("NY", ny_db)):
+            stats_by_name[name] = db.statistics()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, stats in stats_by_name.items():
+        print(format_stat_table(f"Table IV ({name}, scale-adjusted)", stats.as_rows()))
+    la, ny = la_db.statistics(), ny_db.statistics()
+    ratio = ny.n_trajectories / la.n_trajectories
+    print(f"NY/LA trajectory ratio: {ratio:.2f} (paper: 1.55)")
+    la_per = la.n_activities / la.n_trajectories
+    ny_per = ny.n_activities / ny.n_trajectories
+    print(f"activities per trajectory: LA {la_per:.1f} vs NY {ny_per:.1f} (paper: ~100 vs ~42)")
+    assert ratio > 1.2  # NY bigger, as in the paper
+    assert la_per > ny_per  # LA denser in activities, as in the paper
+
+
+@pytest.mark.benchmark(group="table4-build")
+def test_gat_build_la(benchmark, la_db):
+    benchmark.pedantic(
+        lambda: GATIndex.build(la_db, bench_gat_config()), rounds=2, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="table4-build")
+def test_gat_build_ny(benchmark, ny_db):
+    benchmark.pedantic(
+        lambda: GATIndex.build(ny_db, bench_gat_config()), rounds=2, iterations=1
+    )

@@ -1,0 +1,16 @@
+"""Legacy setup shim.
+
+The execution environment ships an older setuptools without the ``wheel``
+package, so editable installs go through ``setup.py develop``.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

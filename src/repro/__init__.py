@@ -1,0 +1,83 @@
+"""repro — a reproduction of "Towards Efficient Search for Activity
+Trajectories" (Zheng, Shang, Yuan, Yang; ICDE 2013).
+
+The library implements activity-trajectory similarity search end to end:
+
+* the data model (activity trajectories over a frequency-ordered activity
+  vocabulary) and a synthetic Foursquare-like check-in generator with
+  LA/NY presets mirroring the paper's Table IV;
+* the **GAT** hybrid grid index — HICL, ITL, TAS and APL — with a
+  simulated two-tier memory/disk layout;
+* exact algorithms for the minimum match distance (Algorithm 3) and the
+  minimum order-sensitive match distance (Algorithm 4);
+* the best-first search engine with the tight unseen-trajectory lower
+  bound (Algorithms 1-2), answering **ATSQ** and **OATSQ** top-k queries;
+* the paper's three baselines (IL, RT, IRT) over from-scratch inverted
+  lists, an R-tree and an IR-tree.
+
+Quickstart
+----------
+>>> from repro import dataset_from_preset, GATIndex, GATSearchEngine, Query
+>>> db = dataset_from_preset("la", scale=0.01)
+>>> engine = GATSearchEngine(GATIndex.build(db))
+>>> some_tr = db.trajectories[0]
+>>> q = Query.from_named(db.vocabulary, [
+...     (some_tr[0].x, some_tr[0].y,
+...      [db.vocabulary.name_of(next(iter(some_tr.activity_union)))]),
+... ])
+>>> results = engine.atsq(q, k=3)
+"""
+
+from repro.model import (
+    ActivityTrajectory,
+    TrajectoryDatabase,
+    TrajectoryPoint,
+    Vocabulary,
+    EuclideanDistance,
+    HaversineDistance,
+    MatrixDistance,
+)
+from repro.core import (
+    GATSearchEngine,
+    MatchEvaluator,
+    Query,
+    QueryPoint,
+    SearchResult,
+    minimum_point_match_distance,
+    minimum_order_match_distance,
+)
+from repro.index import GATIndex, InvertedIndex, IRTree, RTree
+from repro.index.gat.index import GATConfig
+from repro.baselines import InvertedListSearch, IRTreeSearch, RTreeSearch
+from repro.data import dataset_from_preset, CheckInGenerator, GeneratorConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityTrajectory",
+    "TrajectoryDatabase",
+    "TrajectoryPoint",
+    "Vocabulary",
+    "EuclideanDistance",
+    "HaversineDistance",
+    "MatrixDistance",
+    "Query",
+    "QueryPoint",
+    "SearchResult",
+    "MatchEvaluator",
+    "minimum_point_match_distance",
+    "minimum_order_match_distance",
+    "GATIndex",
+    "GATConfig",
+    "GATSearchEngine",
+    "InvertedIndex",
+    "RTree",
+    "IRTree",
+    "InvertedListSearch",
+    "RTreeSearch",
+    "IRTreeSearch",
+    "dataset_from_preset",
+    "CheckInGenerator",
+    "GeneratorConfig",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baseline searchers (Section III) sharing the core distance code.
+
+* :class:`~repro.baselines.il.InvertedListSearch` — activity-only pruning.
+* :class:`~repro.baselines.rt.RTreeSearch` — spatial-only pruning via
+  incremental best-first retrieval over an R-tree (the k-BCT adaptation).
+* :class:`~repro.baselines.irt.IRTreeSearch` — the IR-tree hybrid: spatial
+  best-first with whole-query activity pruning of subtrees.
+
+All three expose the same ``atsq(query, k)`` / ``oatsq(query, k)`` surface
+as :class:`~repro.core.engine.GATSearchEngine` so experiments can swap
+searchers freely.
+"""
+
+from repro.baselines.base import BaselineStats, Searcher
+from repro.baselines.il import InvertedListSearch
+from repro.baselines.rt import RTreeSearch
+from repro.baselines.irt import IRTreeSearch
+
+__all__ = [
+    "Searcher",
+    "BaselineStats",
+    "InvertedListSearch",
+    "RTreeSearch",
+    "IRTreeSearch",
+]

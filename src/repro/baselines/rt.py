@@ -1,0 +1,137 @@
+"""RT — the R-tree baseline (Section III-B), adapting the k-BCT search of
+Chen et al. (SIGMOD 2010) to activity trajectories.
+
+All trajectory points go into one R-tree.  For each query point an
+incremental best-first stream retrieves ever-farther points; every
+retrieved point surfaces its trajectory as a candidate, which is scored
+with the full minimum (order-sensitive) match distance if it matches the
+query activities.  The best match distance ``Dbm`` — the sum over query
+points of the distance to the *nearest unretrieved point* — lower-bounds
+``Dmm`` (Lemma 2) and, via Lemma 3, ``Dmom``; the search stops when the
+running k-th best distance beats it.
+
+Spatial-only pruning: activity information plays no part in retrieval, so
+the paper finds RT insensitive to ``|q.Φ|`` and increasingly ineffective on
+datasets whose nearest points rarely match the activities.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.baselines.base import Searcher
+from repro.core.match import INFINITY
+from repro.core.query import Query
+from repro.core.results import SearchResult, TopKCollector
+from repro.index.rtree import RTree, RTreeEntry, RTreeNode
+from repro.model.database import TrajectoryDatabase
+from repro.model.distance import DistanceMetric
+
+
+class _NearestStream:
+    """Incremental nearest-point iterator over an R-tree for one query
+    point (the classic best-first MINDIST traversal)."""
+
+    __slots__ = ("coord", "heap", "_tick", "stats")
+
+    def __init__(self, tree: RTree, coord: Tuple[float, float], stats) -> None:
+        self.coord = coord
+        self.heap: List[Tuple[float, int, object]] = []
+        self._tick = itertools.count()
+        self.stats = stats
+        if tree.size:
+            heapq.heappush(self.heap, (tree.root.min_dist(coord), next(self._tick), tree.root))
+
+    def top_distance(self) -> float:
+        """Lower bound on the distance of every not-yet-returned point."""
+        return self.heap[0][0] if self.heap else INFINITY
+
+    def pop_point(self) -> Optional[Tuple[float, RTreeEntry]]:
+        """Return the next nearest point entry, or None when exhausted."""
+        while self.heap:
+            dist, _tick, item = heapq.heappop(self.heap)
+            if isinstance(item, RTreeEntry):
+                self.stats.points_popped += 1
+                return dist, item
+            node: RTreeNode = item
+            self.stats.nodes_accessed += 1
+            if node.is_leaf:
+                for entry in node.children:
+                    d = _euclid(self.coord, entry.coord)
+                    heapq.heappush(self.heap, (d, next(self._tick), entry))
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        self.heap, (child.min_dist(self.coord), next(self._tick), child)
+                    )
+        return None
+
+
+def _euclid(a, b) -> float:
+    import math
+
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class RTreeSearch(Searcher):
+    """ATSQ/OATSQ via incremental spatial retrieval (k-BCT style)."""
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        metric: Optional[DistanceMetric] = None,
+        max_entries: int = 32,
+    ) -> None:
+        super().__init__(db, metric)
+        items = [
+            (p.x, p.y, (tr.trajectory_id, pos))
+            for tr in db
+            for pos, p in enumerate(tr)
+        ]
+        self.tree = RTree.bulk_load(items, max_entries=max_entries)
+
+    def _make_streams(self, query: Query) -> List[_NearestStream]:
+        return [_NearestStream(self.tree, q.coord, self.stats) for q in query]
+
+    def _search(self, query: Query, k: int, order_sensitive: bool) -> List[SearchResult]:
+        streams = self._make_streams(query)
+        results = TopKCollector(k)
+        seen: set[int] = set()
+
+        while True:
+            # Advance the stream whose next point is globally nearest: this
+            # grows the Dbm lower bound as slowly as possible, maximising
+            # the chance of early termination.
+            best_idx = -1
+            best_top = INFINITY
+            for idx, stream in enumerate(streams):
+                top = stream.top_distance()
+                if top < best_top:
+                    best_top = top
+                    best_idx = idx
+            if best_idx < 0:
+                break  # every stream exhausted: all points seen
+            popped = streams[best_idx].pop_point()
+            if popped is None:
+                continue
+            _dist, entry = popped
+            tid = self._entry_tid(entry)
+            if tid not in seen:
+                seen.add(tid)
+                self.stats.candidates_retrieved += 1
+                distance = self.score_candidate(
+                    query, tid, order_sensitive, results.kth_distance()
+                )
+                if distance != INFINITY:
+                    results.offer(SearchResult(tid, distance))
+            lower = sum(s.top_distance() for s in streams)
+            if results.kth_distance() < lower:
+                break  # Lemma 2 (and Lemma 3 for OATSQ): unseen can't win
+        return results.results()
+
+    @staticmethod
+    def _entry_tid(entry: RTreeEntry) -> int:
+        tid, _pos = entry.payload
+        return tid

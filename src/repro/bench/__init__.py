@@ -1,0 +1,27 @@
+"""Benchmark harness: workloads, counters, sweeps and reporting.
+
+The package turns the paper's evaluation section into runnable code:
+
+* :mod:`repro.bench.workloads` — query generation following Section
+  VII-A's methodology (sample a trajectory, pick locations/activities,
+  control the diameter δ(Q));
+* :mod:`repro.bench.harness` — builds every searcher over a dataset and
+  times a query batch, collecting wall-clock plus work counters;
+* :mod:`repro.bench.experiments` — one sweep definition per paper figure;
+* :mod:`repro.bench.reporting` — plain-text tables shaped like the
+  paper's plots (one row per x-value, one column per method).
+"""
+
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.bench.harness import ExperimentHarness, MethodTiming, SweepResult
+from repro.bench.reporting import format_series_table, format_stat_table
+
+__all__ = [
+    "QueryWorkloadGenerator",
+    "WorkloadConfig",
+    "ExperimentHarness",
+    "MethodTiming",
+    "SweepResult",
+    "format_series_table",
+    "format_stat_table",
+]

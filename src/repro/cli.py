@@ -1,0 +1,184 @@
+"""Command-line interface.
+
+Four subcommands cover the library's end-to-end workflow:
+
+* ``generate`` — synthesise a dataset (preset or custom) to JSON-lines;
+* ``stats``    — print a dataset's Table IV statistics;
+* ``query``    — run one ATSQ/OATSQ against a dataset file;
+* ``sweep``    — run one of the paper's figure sweeps and print the table.
+
+Usage examples::
+
+    python -m repro.cli generate --preset la --scale 0.02 -o la.jsonl
+    python -m repro.cli stats la.jsonl
+    python -m repro.cli query la.jsonl --k 5 --order-sensitive --seed 3
+    python -m repro.cli sweep la.jsonl --figure k
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.bench.experiments import (
+    ExperimentScale,
+    effect_of_activities,
+    effect_of_diameter,
+    effect_of_k,
+    effect_of_query_points,
+)
+from repro.bench.reporting import format_series_table, format_stat_table
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.core.engine import GATSearchEngine
+from repro.data.generator import CheckInGenerator, GeneratorConfig
+from repro.data.loader import load_database_jsonl, save_database_jsonl
+from repro.data.presets import dataset_from_preset
+from repro.index.gat.index import GATConfig, GATIndex
+from repro.model.database import TrajectoryDatabase
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Activity trajectory search (ICDE 2013 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="synthesise a check-in dataset")
+    p_gen.add_argument("--preset", choices=["la", "ny"], help="Table IV preset")
+    p_gen.add_argument("--scale", type=float, default=0.02, help="preset scale (0,1]")
+    p_gen.add_argument("--users", type=int, help="custom: number of users")
+    p_gen.add_argument("--venues", type=int, help="custom: number of venues")
+    p_gen.add_argument("--vocabulary", type=int, help="custom: vocabulary size")
+    p_gen.add_argument("--seed", type=int, default=7)
+    p_gen.add_argument("-o", "--output", required=True, help="output .jsonl path")
+
+    p_stats = sub.add_parser("stats", help="print Table IV statistics")
+    p_stats.add_argument("dataset", help=".jsonl dataset path")
+
+    p_query = sub.add_parser("query", help="run one ATSQ/OATSQ")
+    p_query.add_argument("dataset", help=".jsonl dataset path")
+    p_query.add_argument("--k", type=int, default=9)
+    p_query.add_argument("--query-points", type=int, default=4)
+    p_query.add_argument("--activities", type=int, default=3)
+    p_query.add_argument("--order-sensitive", action="store_true")
+    p_query.add_argument("--seed", type=int, default=1)
+    p_query.add_argument("--depth", type=int, default=6, help="GAT grid depth")
+    p_query.add_argument("--explain", action="store_true", help="show matched points")
+
+    p_sweep = sub.add_parser("sweep", help="run a paper figure sweep")
+    p_sweep.add_argument("dataset", help=".jsonl dataset path")
+    p_sweep.add_argument(
+        "--figure",
+        choices=["k", "qpoints", "activities", "diameter"],
+        default="k",
+        help="which parameter to sweep (Figures 3-6)",
+    )
+    p_sweep.add_argument("--queries", type=int, default=3, help="queries per point")
+    p_sweep.add_argument("--order-sensitive", action="store_true")
+    p_sweep.add_argument("--seed", type=int, default=77)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.preset:
+        db = dataset_from_preset(args.preset, args.scale, seed=args.seed)
+    else:
+        if not (args.users and args.venues and args.vocabulary):
+            print(
+                "either --preset or all of --users/--venues/--vocabulary required",
+                file=sys.stderr,
+            )
+            return 2
+        config = GeneratorConfig(
+            n_users=args.users,
+            n_venues=args.venues,
+            vocabulary_size=args.vocabulary,
+            seed=args.seed,
+        )
+        db = CheckInGenerator(config).generate(name="custom")
+    save_database_jsonl(db, args.output)
+    stats = db.statistics()
+    print(f"wrote {args.output}: {stats.n_trajectories} trajectories, "
+          f"{stats.n_activities} activity occurrences")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    db = load_database_jsonl(args.dataset)
+    print(format_stat_table(f"Table IV — {db.name}", db.statistics().as_rows()))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = load_database_jsonl(args.dataset)
+    index = GATIndex.build(
+        db, GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
+    )
+    engine = GATSearchEngine(index)
+    workload = QueryWorkloadGenerator(
+        db,
+        WorkloadConfig(
+            n_query_points=args.query_points,
+            n_activities_per_point=args.activities,
+            seed=args.seed,
+        ),
+    )
+    query = workload.query()
+    print("query:")
+    for i, q in enumerate(query, start=1):
+        names = sorted(db.vocabulary.decode(q.activities))
+        print(f"  q{i}: ({q.x:.2f}, {q.y:.2f})  {names}")
+    t0 = time.perf_counter()
+    if args.order_sensitive:
+        results = engine.oatsq(query, args.k, explain=args.explain)
+        label = "Dmom"
+    else:
+        results = engine.atsq(query, args.k, explain=args.explain)
+        label = "Dmm"
+    elapsed = time.perf_counter() - t0
+    print(f"\ntop-{args.k} ({label}), {elapsed * 1000:.1f} ms:")
+    for rank, r in enumerate(results, start=1):
+        line = f"  #{rank}: trajectory {r.trajectory_id}  {label}={r.distance:.3f}"
+        if args.explain and r.matches is not None:
+            line += f"  matches={r.matches}"
+        print(line)
+    stats = engine.stats
+    print(f"\nwork: {stats.cells_popped} cells, {stats.candidates_retrieved} candidates, "
+          f"{stats.tas_pruned} TAS-pruned, {stats.disk_reads} disk reads")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    db = load_database_jsonl(args.dataset)
+    scale = ExperimentScale(dataset_scale=1.0, n_queries=args.queries, seed=args.seed)
+    sweeps = {
+        "k": (effect_of_k, "Figure 3 — effect of k"),
+        "qpoints": (effect_of_query_points, "Figure 4 — effect of |Q|"),
+        "activities": (effect_of_activities, "Figure 5 — effect of |q.phi|"),
+        "diameter": (effect_of_diameter, "Figure 6 — effect of delta(Q)"),
+    }
+    fn, title = sweeps[args.figure]
+    results = fn(db, scale, order_sensitive=args.order_sensitive)
+    qtype = "OATSQ" if args.order_sensitive else "ATSQ"
+    print(format_series_table(f"{title} ({qtype}, {db.name})", results))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "query": _cmd_query,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Shared candidate scoring: the code path every searcher funnels through.
+
+Section VII-A of the paper: "the four algorithms only differ in the index
+structure and how they retrieve candidates, and they will use the same
+algorithms to compute the minimum match distance (Section V-D) and minimum
+order-sensitive match distance (Section VI-C)".  :class:`MatchEvaluator` is
+that shared tail — GAT, IL, RT and IRT all call into it, so performance
+differences between searchers are attributable to candidate retrieval and
+pruning alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.match import (
+    INFINITY,
+    minimum_point_match,
+    minimum_point_match_distance,
+)
+from repro.core.order_match import (
+    minimum_order_match,
+    minimum_order_match_distance,
+    order_feasible,
+)
+from repro.core.query import Query, QueryPoint
+from repro.model.distance import DistanceMetric, EuclideanDistance
+from repro.model.trajectory import ActivityTrajectory
+
+
+@dataclass(slots=True)
+class EvaluatorStats:
+    """Work counters for the scoring stage."""
+
+    dmm_evaluations: int = 0
+    dmom_evaluations: int = 0
+    point_match_points: int = 0
+
+    def reset(self) -> None:
+        self.dmm_evaluations = 0
+        self.dmom_evaluations = 0
+        self.point_match_points = 0
+
+
+class MatchEvaluator:
+    """Computes ``Dmm`` / ``Dmom`` / ``Dbm`` for (query, trajectory) pairs."""
+
+    def __init__(self, metric: Optional[DistanceMetric] = None) -> None:
+        self.metric: DistanceMetric = metric or EuclideanDistance()
+        self.stats = EvaluatorStats()
+
+    # ------------------------------------------------------------------
+    # Candidate point sets (the in-memory view of the APL)
+    # ------------------------------------------------------------------
+    def _candidate_points(self, trajectory: ActivityTrajectory, q: QueryPoint):
+        """``CP`` for one query point: positions from the union of the
+        trajectory's posting lists over ``q.Φ`` (Algorithm 3, line 1)."""
+        posting = trajectory.posting_lists
+        positions: set[int] = set()
+        for activity in q.activities:
+            positions.update(posting.get(activity, ()))
+        self.stats.point_match_points += len(positions)
+        return [(pos, trajectory.points[pos]) for pos in sorted(positions)]
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def dmpm(self, q: QueryPoint, trajectory: ActivityTrajectory) -> float:
+        """Minimum point match distance for a single query point."""
+        return minimum_point_match_distance(
+            q.coord, q.activities, self._candidate_points(trajectory, q), self.metric
+        )
+
+    def dmm(self, query: Query, trajectory: ActivityTrajectory) -> float:
+        """``Dmm(Q, Tr)`` via Lemma 1: the sum of per-query-point ``Dmpm``.
+
+        Returns ``inf`` as soon as any query point has no point match.
+        """
+        self.stats.dmm_evaluations += 1
+        total = 0.0
+        for q in query:
+            d = self.dmpm(q, trajectory)
+            if d == INFINITY:
+                return INFINITY
+            total += d
+        return total
+
+    def dmm_explained(
+        self, query: Query, trajectory: ActivityTrajectory
+    ) -> Tuple[float, Tuple[Tuple[int, ...], ...]]:
+        """``Dmm`` plus the matched positions per query point."""
+        self.stats.dmm_evaluations += 1
+        total = 0.0
+        matches: List[Tuple[int, ...]] = []
+        for q in query:
+            d, positions = minimum_point_match(
+                q.coord, q.activities, self._candidate_points(trajectory, q), self.metric
+            )
+            if d == INFINITY:
+                return INFINITY, ()
+            total += d
+            matches.append(positions)
+        return total, tuple(matches)
+
+    def dmom(
+        self,
+        query: Query,
+        trajectory: ActivityTrajectory,
+        threshold: float = INFINITY,
+        check_order: bool = True,
+    ) -> float:
+        """``Dmom(Q, Tr)`` via Algorithm 4, with three pruning layers:
+
+        1. the MIB order-feasibility check (Section VI-B);
+        2. the ``Dmm`` gate — by Lemma 3 ``Dmm <= Dmom``, so a candidate
+           whose cheap ``Dmm`` already exceeds the running k-th best
+           ``Dmom`` can skip the expensive DP entirely;
+        3. the DP's own row-level threshold early-exit (Lemma 4).
+        """
+        self.stats.dmom_evaluations += 1
+        if check_order and not order_feasible(trajectory, query):
+            return INFINITY
+        lower = self.dmm(query, trajectory)
+        if lower == INFINITY or lower > threshold:
+            return INFINITY
+        return minimum_order_match_distance(query, trajectory, self.metric, threshold)
+
+    def dmom_explained(
+        self, query: Query, trajectory: ActivityTrajectory
+    ) -> Tuple[float, Tuple[Tuple[int, ...], ...]]:
+        """``Dmom`` plus the order-sensitive match positions."""
+        self.stats.dmom_evaluations += 1
+        if not order_feasible(trajectory, query):
+            return INFINITY, ()
+        return minimum_order_match(query, trajectory, self.metric)
+
+    def best_match_distance(self, query: Query, trajectory: ActivityTrajectory) -> float:
+        """``Dbm(Q, Tr)`` — the activity-blind best match distance of the
+        RT baseline (Section III-B): sum over query points of the distance
+        to the nearest trajectory point.  Lower-bounds ``Dmm`` (Lemma 2)."""
+        total = 0.0
+        for q in query:
+            total += min(self.metric(q.coord, p.coord) for p in trajectory)
+        return total

@@ -1,0 +1,115 @@
+"""Lower bound for "unseen" trajectories — Algorithm 2 (Section V-B).
+
+During candidate retrieval the engine must know how good a trajectory it
+has *not* seen yet could possibly be.  The trivial bound (the ``mdist`` at
+the top of the priority queue) "is too loose to be useful in practice"; the
+paper instead keeps, per query point ``q_i``, the sorted frontier of
+not-yet-visited cells that contain at least one of ``q_i``'s activities,
+and builds a *virtual trajectory* from the ``m`` nearest frontier cells:
+one virtual point per cell, carrying the cell's query-activity overlap at
+distance ``mdist(q_i, cell)``.  The minimum point match distance over those
+virtual points lower-bounds the true ``Dmpm`` of every unseen trajectory,
+and is capped by the ``m``-th cell's distance (any match reaching past the
+kept cells costs at least that much for a single point).
+
+Soundness at the edges (where the paper's prose is silent):
+
+* when the frontier holds fewer than ``m`` cells there are no dropped
+  cells, so the cap is ``+inf`` rather than the last cell's distance;
+* when the frontier is *empty*, every cell containing any of ``q_i``'s
+  activities has been visited, so every trajectory able to match ``q_i``
+  has already been retrieved as a candidate — the contribution for unseen
+  trajectories is ``+inf`` (the paper falls back to the queue-top
+  ``mdist``; ``+inf`` is both sound and tighter, and makes termination on
+  exhausted frontiers immediate).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from repro.core.match import INFINITY, PointMatchTable
+from repro.core.query import Query
+from repro.index.gat.hicl import HICL
+
+# A frontier entry: (mdist, level, cell code).
+FrontierEntry = Tuple[float, int, int]
+
+
+class Frontier:
+    """Sorted list of not-yet-visited cells for one query point
+    (the paper's ``cellsn(q_i)``).
+
+    Kept *complete* (not truncated to ``m``): dropping far cells would make
+    the cap unsound once nearer cells are consumed.  ``m`` only limits how
+    many cells feed the virtual trajectory.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: List[FrontierEntry] = []
+
+    def add(self, mdist: float, level: int, code: int) -> None:
+        bisect.insort(self._entries, (mdist, level, code))
+
+    def remove(self, mdist: float, level: int, code: int) -> None:
+        """Remove an entry (no-op when absent, mirroring the paper's
+        'remove cellID from cellsn (if it exists)')."""
+        idx = bisect.bisect_left(self._entries, (mdist, level, code))
+        if idx < len(self._entries) and self._entries[idx] == (mdist, level, code):
+            self._entries.pop(idx)
+
+    def nearest(self, m: int) -> List[FrontierEntry]:
+        return self._entries[:m]
+
+    def mth_distance(self, m: int) -> float:
+        """Distance of the ``m``-th nearest frontier cell, ``+inf`` when the
+        frontier is shorter than ``m`` (no dropped cells to guard against)."""
+        if len(self._entries) >= m:
+            return self._entries[m - 1][0]
+        return INFINITY
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+
+def lower_bound_distance(
+    query: Query,
+    frontiers: Dict[int, Frontier],
+    hicl: HICL,
+    m: int,
+) -> float:
+    """``D_lb`` — Algorithm 2 summed over all query points.
+
+    Parameters
+    ----------
+    query:
+        The query whose per-point frontiers are maintained by the engine.
+    frontiers:
+        ``query point index -> Frontier``.
+    hicl:
+        Supplies each cell's query-activity overlap (the virtual points'
+        activity sets, line 6 of Algorithm 2).
+    m:
+        Number of nearest frontier cells forming the virtual trajectory.
+    """
+    total = 0.0
+    for qi, q in enumerate(query):
+        frontier = frontiers[qi]
+        if not frontier:
+            return INFINITY  # no unseen trajectory can match q_i at all
+        table = PointMatchTable(q.activities)
+        for mdist, level, code in frontier.nearest(m):
+            overlap = hicl.cell_activity_overlap(code, q.activities, level)
+            if overlap:
+                table.add(table.overlap_mask(overlap), mdist)
+        contribution = min(table.best(), frontier.mth_distance(m))
+        if contribution == INFINITY:
+            return INFINITY
+        total += contribution
+    return total

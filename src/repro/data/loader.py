@@ -1,0 +1,99 @@
+"""Persistence: save/load a trajectory database as JSON-lines.
+
+Format (one JSON object per line):
+
+* line 1 — header: ``{"type": "header", "name": ..., "vocabulary": [names in
+  ID order]}``
+* following lines — one per trajectory: ``{"type": "trajectory", "id": ...,
+  "points": [[x, y, [activity ids], timestamp|null, venue|null], ...]}``
+
+JSON-lines keeps files streamable and diff-able; activity IDs (not names)
+are stored per point so files stay compact, with the vocabulary in the
+header making them self-contained.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.model.database import TrajectoryDatabase
+from repro.model.point import TrajectoryPoint
+from repro.model.trajectory import ActivityTrajectory
+from repro.model.vocabulary import Vocabulary
+
+PathLike = Union[str, Path]
+
+
+def save_database_jsonl(db: TrajectoryDatabase, path: PathLike) -> None:
+    """Write *db* to *path* in the JSON-lines format described above."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "type": "header",
+            "name": db.name,
+            "vocabulary": list(db.vocabulary.names()),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for tr in db:
+            record = {
+                "type": "trajectory",
+                "id": tr.trajectory_id,
+                "points": [
+                    [
+                        p.x,
+                        p.y,
+                        sorted(p.activities),
+                        p.timestamp,
+                        p.venue_id,
+                    ]
+                    for p in tr
+                ],
+            }
+            fh.write(json.dumps(record) + "\n")
+
+
+def load_database_jsonl(path: PathLike) -> TrajectoryDatabase:
+    """Read a database previously written by :func:`save_database_jsonl`.
+
+    Raises
+    ------
+    ValueError
+        If the file is empty, lacks a header, or contains malformed rows.
+    """
+    path = Path(path)
+    trajectories: List[ActivityTrajectory] = []
+    vocabulary: Vocabulary | None = None
+    name = "dataset"
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "header":
+                vocabulary = Vocabulary(record["vocabulary"])
+                name = record.get("name", name)
+            elif kind == "trajectory":
+                if vocabulary is None:
+                    raise ValueError(f"{path}: trajectory before header (line {line_no})")
+                points = [
+                    TrajectoryPoint(
+                        x,
+                        y,
+                        frozenset(activity_ids),
+                        timestamp=timestamp,
+                        venue_id=venue_id,
+                    )
+                    for x, y, activity_ids, timestamp, venue_id in record["points"]
+                ]
+                trajectories.append(ActivityTrajectory(record["id"], points))
+            else:
+                raise ValueError(f"{path}: unknown record type {kind!r} (line {line_no})")
+    if vocabulary is None:
+        raise ValueError(f"{path}: missing header line")
+    if not trajectories:
+        raise ValueError(f"{path}: no trajectories")
+    return TrajectoryDatabase(trajectories, vocabulary, name=name)

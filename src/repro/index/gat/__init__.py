@@ -1,0 +1,34 @@
+"""GAT — the Grid index for Activity Trajectories (Section IV).
+
+Four components, mirroring Figure 2 of the paper:
+
+i.   :class:`~repro.index.gat.hicl.HICL` — Hierarchical Inverted Cell
+     List: per activity, per grid level, the set of cells containing it.
+ii.  :class:`~repro.index.gat.itl.ITL` — Inverted Trajectory List: per
+     leaf cell, per activity, the trajectories whose segment carries the
+     activity inside the cell.
+iii. :class:`~repro.index.gat.tas.TrajectorySketch` — Trajectory Activity
+     Sketch: per trajectory, M compact ID intervals summarising its
+     activity set.
+iv.  :class:`~repro.index.gat.apl.APLStore` — Activity Posting List: per
+     trajectory, per activity, the point positions, persisted on the
+     simulated disk.
+
+:class:`~repro.index.gat.index.GATIndex` builds and owns all four.
+"""
+
+from repro.index.gat.hicl import HICL
+from repro.index.gat.itl import ITL
+from repro.index.gat.tas import TrajectorySketch, optimal_intervals, build_sketches
+from repro.index.gat.apl import APLStore
+from repro.index.gat.index import GATIndex
+
+__all__ = [
+    "HICL",
+    "ITL",
+    "TrajectorySketch",
+    "optimal_intervals",
+    "build_sketches",
+    "APLStore",
+    "GATIndex",
+]

@@ -1,0 +1,78 @@
+"""APL — Activity Posting List (Section IV, component iv).
+
+"For each trajectory Tr in the database, we construct an activity posting
+list for each activity α existing in Tr, which is a list of the trajectory
+points that contain α.  This data structure is stored on disk due to its
+high space requirement, and will be retrieved only when the distance with
+the query needs to be evaluated."
+
+The store persists, per trajectory, the mapping ``activity -> point
+positions`` on the simulated disk.  Fetching a trajectory's APL is one
+counted disk read; the search engine fetches it exactly once per surviving
+candidate (validation + distance computation share the fetched record).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.model.database import TrajectoryDatabase
+from repro.storage.disk import SimulatedDisk
+
+PostingLists = Dict[int, Tuple[int, ...]]
+
+
+class APLStore:
+    """Disk-resident activity posting lists, one record per trajectory."""
+
+    __slots__ = ("disk", "_known")
+
+    def __init__(self, disk: SimulatedDisk) -> None:
+        self.disk = disk
+        self._known: set[int] = set()
+
+    @classmethod
+    def build(cls, db: TrajectoryDatabase, disk: SimulatedDisk) -> "APLStore":
+        store = cls(disk)
+        for trajectory in db:
+            store.disk.put(("apl", trajectory.trajectory_id), trajectory.posting_lists)
+            store._known.add(trajectory.trajectory_id)
+        return store
+
+    def store(self, trajectory) -> None:
+        """Persist one trajectory's posting lists (dynamic insertion)."""
+        self.disk.put(("apl", trajectory.trajectory_id), trajectory.posting_lists)
+        self._known.add(trajectory.trajectory_id)
+
+    def fetch(self, trajectory_id: int) -> PostingLists:
+        """Read the posting lists of one trajectory (a counted disk read).
+
+        Raises
+        ------
+        KeyError
+            If the trajectory was never stored.
+        """
+        return self.disk.get(("apl", trajectory_id))
+
+    def __contains__(self, trajectory_id: int) -> bool:
+        return trajectory_id in self._known
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    @staticmethod
+    def covers_query(posting: PostingLists, activities: Iterable[int]) -> bool:
+        """The exact validation of Section V-C: a posting list must exist
+        for every query activity."""
+        return all(activity in posting for activity in activities)
+
+    @staticmethod
+    def candidate_positions(
+        posting: PostingLists, activities: Iterable[int]
+    ) -> Tuple[int, ...]:
+        """``CP`` positions for one query point: the sorted union of the
+        posting lists of its activities (Algorithm 3, line 1)."""
+        out: set[int] = set()
+        for activity in activities:
+            out.update(posting.get(activity, ()))
+        return tuple(sorted(out))

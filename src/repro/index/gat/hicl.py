@@ -1,0 +1,233 @@
+"""HICL — Hierarchical Inverted Cell List (Section IV, component i).
+
+For every activity ``α`` and every grid level, the set of cell codes whose
+region contains at least one trajectory point carrying ``α``.  Built
+bottom-up: leaf-cell membership comes straight from the points; each higher
+level aggregates four children into their parent (a two-bit shift of the
+Morton code).
+
+Memory split: "we can just keep the high levels of the structure within
+main memory and the low levels on the secondary storage".  The paper's
+default keeps levels 1-6 in memory and levels 7-8 on disk; here the split
+level is a constructor argument and the low levels live on the
+:class:`~repro.storage.disk.SimulatedDisk` (one record per (activity,
+level) inverted list) so lookups are counted as logical I/O.
+
+The paper's memory-budget formula — the largest ``h`` with
+``sum_{i=1..h} 4^i * C <= B`` i.e. ``h = log4(3B/(4C) + 1)`` — is exposed
+as :func:`memory_level_budget`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.geometry.grid import HierarchicalGrid
+from repro.model.database import TrajectoryDatabase
+from repro.storage.disk import SimulatedDisk
+
+
+def memory_level_budget(budget_bytes: int, vocabulary_size: int) -> int:
+    """Highest level count ``h`` whose inverted cell lists fit in *budget_bytes*.
+
+    Implements the paper's estimate ``h = log4(3B/(4C) + 1)`` where ``B`` is
+    the memory budget and ``C`` the cardinality of the activity vocabulary
+    (each level ``i`` is charged ``4^i * C``).
+    """
+    if budget_bytes <= 0 or vocabulary_size <= 0:
+        raise ValueError("budget and vocabulary size must be positive")
+    h = math.log(3.0 * budget_bytes / (4.0 * vocabulary_size) + 1.0, 4.0)
+    return max(0, int(h))
+
+
+class HICL:
+    """Per-activity hierarchy of inverted cell lists.
+
+    Parameters
+    ----------
+    grid:
+        The hierarchical grid the cells belong to.
+    memory_levels:
+        Levels ``1..memory_levels`` stay in main memory; deeper levels are
+        written to *disk* and each query-time lookup is a counted read.
+    disk:
+        The simulated disk for the low levels (required when
+        ``memory_levels < grid.depth``).
+    """
+
+    def __init__(
+        self,
+        grid: HierarchicalGrid,
+        memory_levels: int,
+        disk: Optional[SimulatedDisk] = None,
+    ) -> None:
+        if not 0 <= memory_levels <= grid.depth:
+            raise ValueError(
+                f"memory_levels must be in [0, {grid.depth}], got {memory_levels}"
+            )
+        if memory_levels < grid.depth and disk is None:
+            raise ValueError("a disk is required when some levels are disk-resident")
+        self.grid = grid
+        self.memory_levels = memory_levels
+        self.disk = disk
+        # _memory[level][activity] -> frozenset of cell codes (levels 1-based)
+        self._memory: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        # Query-time cache of disk-resident lists.  The paper's own remedy
+        # for limited memory is to "retrieve the block(s) around the query
+        # location into main memory at query time"; the engine clears this
+        # per query so each (activity, level) list costs one counted read
+        # per query, not one per cell expansion.
+        self._cache: Dict[Tuple[int, int], FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        db: TrajectoryDatabase,
+        grid: HierarchicalGrid,
+        memory_levels: int,
+        disk: Optional[SimulatedDisk] = None,
+    ) -> "HICL":
+        """Build the full hierarchy from the database's points."""
+        hicl = cls(grid, memory_levels, disk)
+        depth = grid.depth
+        leaf_level = grid.leaf_level
+
+        leaf_sets: Dict[int, Set[int]] = {}
+        for trajectory in db:
+            for point in trajectory:
+                if not point.activities:
+                    continue
+                code = leaf_level.locate(point.coord)
+                for activity in point.activities:
+                    leaf_sets.setdefault(activity, set()).add(code)
+
+        level_sets: Dict[int, Dict[int, Set[int]]] = {depth: leaf_sets}
+        for level in range(depth - 1, 0, -1):
+            below = level_sets[level + 1]
+            here: Dict[int, Set[int]] = {}
+            for activity, codes in below.items():
+                here[activity] = {code >> 2 for code in codes}
+            level_sets[level] = here
+
+        for level, sets in level_sets.items():
+            frozen = {activity: frozenset(codes) for activity, codes in sets.items()}
+            if level <= memory_levels:
+                hicl._memory[level] = frozen
+            else:
+                assert disk is not None
+                for activity, codes in frozen.items():
+                    disk.put(("hicl", level, activity), codes)
+                # An empty in-memory shell marks the level as disk-resident.
+                hicl._memory.setdefault(level, {})
+        return hicl
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def cells_with_activity(self, activity: int, level: int) -> FrozenSet[int]:
+        """Cell codes at *level* containing *activity* (possibly empty)."""
+        if not 1 <= level <= self.grid.depth:
+            raise ValueError(f"level {level} outside [1, {self.grid.depth}]")
+        if level <= self.memory_levels:
+            return self._memory.get(level, {}).get(activity, frozenset())
+        key = (level, activity)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        assert self.disk is not None
+        stored = self.disk.get_or_none(("hicl", level, activity))
+        result = stored if stored is not None else frozenset()
+        self._cache[key] = result
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop the query-time cache of disk-resident lists (call between
+        queries so per-query I/O accounting stays honest)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance (extension; the paper only builds statically)
+    # ------------------------------------------------------------------
+    def add_point(self, leaf_code: int, activities: Iterable[int]) -> None:
+        """Register a new point's activities in its leaf cell and all
+        ancestors.  Disk-resident levels are read-modified-written (counted
+        I/O); the per-query cache is invalidated."""
+        self._cache.clear()
+        depth = self.grid.depth
+        activity_list = list(activities)
+        code = leaf_code
+        for level in range(depth, 0, -1):
+            if level <= self.memory_levels:
+                table = self._memory.setdefault(level, {})
+                for activity in activity_list:
+                    existing = table.get(activity, frozenset())
+                    if code not in existing:
+                        table[activity] = existing | {code}
+            else:
+                assert self.disk is not None
+                for activity in activity_list:
+                    key = ("hicl", level, activity)
+                    stored = self.disk.get_or_none(key) or frozenset()
+                    if code not in stored:
+                        self.disk.put(key, stored | {code})
+            code >>= 2
+
+    def cells_with_any(self, activities: Iterable[int], level: int) -> FrozenSet[int]:
+        """Union of the per-activity cell lists (candidate regions for a
+        query point whose ``q.Φ`` is *activities*)."""
+        out: Set[int] = set()
+        for activity in activities:
+            out |= self.cells_with_activity(activity, level)
+        return frozenset(out)
+
+    def cell_has_any(self, code: int, activities: Iterable[int], level: int) -> bool:
+        """Does the cell contain at least one of *activities*?"""
+        return any(
+            code in self.cells_with_activity(activity, level) for activity in activities
+        )
+
+    def cell_activity_overlap(
+        self, code: int, activities: Iterable[int], level: int
+    ) -> FrozenSet[int]:
+        """``c.Φ ∩ activities`` — the subset of *activities* present in the
+        cell.  Used to equip Algorithm 2's virtual points."""
+        return frozenset(
+            activity
+            for activity in activities
+            if code in self.cells_with_activity(activity, level)
+        )
+
+    def children_with_any(
+        self, code: int, level: int, activities: Iterable[int]
+    ) -> List[int]:
+        """The (up to four) children of cell *code* at ``level + 1`` that
+        contain at least one of *activities* — the pruned child expansion of
+        the best-first candidate retrieval (Section V-A)."""
+        child_level = level + 1
+        activity_list = list(activities)
+        lists = [self.cells_with_activity(a, child_level) for a in activity_list]
+        base = code << 2
+        out = []
+        for child in (base, base + 1, base + 2, base + 3):
+            if any(child in cells for cells in lists):
+                out.append(child)
+        return out
+
+    # ------------------------------------------------------------------
+    # Sizing (Figure 8's memory-cost series)
+    # ------------------------------------------------------------------
+    def memory_cost_bytes(self) -> int:
+        """Rough in-memory footprint: 8 bytes per (activity, cell) entry in
+        the memory-resident levels plus dict overhead ignored — comparable
+        across granularities, which is what Figure 8 plots."""
+        total = 0
+        for level, table in self._memory.items():
+            if level > self.memory_levels:
+                continue
+            for codes in table.values():
+                total += 8 * len(codes) + 16
+        return total

@@ -1,0 +1,143 @@
+"""GATIndex — assembly of the four GAT components over one database.
+
+Defaults follow the paper's experimental settings (Section VII-A): grid
+depth ``d = 8`` (256 x 256 leaf cells), levels 1-6 in main memory with
+levels 7-8 on disk, and a small number of TAS intervals (the paper leaves
+``M`` to the memory budget; we default to 2, matching the Figure 2 example
+where every sketch has two intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.geometry.grid import HierarchicalGrid
+from repro.index.gat.apl import APLStore
+from repro.index.gat.hicl import HICL
+from repro.index.gat.itl import ITL
+from repro.index.gat.tas import TrajectorySketch, build_sketches, sketch_memory_bytes
+from repro.model.database import TrajectoryDatabase
+from repro.storage.disk import SimulatedDisk
+
+
+@dataclass(frozen=True, slots=True)
+class GATConfig:
+    """Build-time knobs of the GAT index."""
+
+    depth: int = 8
+    memory_levels: int = 6
+    sketch_intervals: int = 2
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("grid depth must be >= 1")
+        if not 0 <= self.memory_levels <= self.depth:
+            raise ValueError("memory_levels must be within [0, depth]")
+        if self.sketch_intervals < 1:
+            raise ValueError("sketch_intervals must be >= 1")
+
+
+class GATIndex:
+    """The hybrid grid index: grid + HICL + ITL + TAS + APL."""
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        grid: HierarchicalGrid,
+        hicl: HICL,
+        itl: ITL,
+        sketches: Dict[int, TrajectorySketch],
+        apl: APLStore,
+        config: GATConfig,
+        disk: SimulatedDisk,
+    ) -> None:
+        self.db = db
+        self.grid = grid
+        self.hicl = hicl
+        self.itl = itl
+        self.sketches = sketches
+        self.apl = apl
+        self.config = config
+        self.disk = disk
+
+    @classmethod
+    def build(
+        cls,
+        db: TrajectoryDatabase,
+        config: Optional[GATConfig] = None,
+        disk: Optional[SimulatedDisk] = None,
+    ) -> "GATIndex":
+        """Build all four components over *db*.
+
+        A fresh :class:`SimulatedDisk` is created unless one is supplied
+        (sharing a disk lets experiments aggregate I/O across components).
+        Build-time writes are excluded from the returned disk's counters so
+        query-time statistics start clean.
+        """
+        if config is None:
+            config = GATConfig()
+        if disk is None:  # explicit: an empty SimulatedDisk is falsy (len 0)
+            disk = SimulatedDisk()
+        grid = HierarchicalGrid(db.bounding_box, config.depth)
+        hicl = HICL.build(db, grid, config.memory_levels, disk)
+        itl = ITL.build(db, grid)
+        sketches = build_sketches(db, config.sketch_intervals)
+        apl = APLStore.build(db, disk)
+        disk.reset_stats()
+        return cls(db, grid, hicl, itl, sketches, apl, config, disk)
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance (extension; the paper builds statically)
+    # ------------------------------------------------------------------
+    def insert_trajectory(self, trajectory) -> None:
+        """Insert one new trajectory into the database and all four index
+        components.
+
+        Constraint: the trajectory's points must lie inside the grid's
+        bounding box (built from the original database).  Points outside
+        would be clamped into edge cells whose MINDIST can exceed the true
+        point distance, breaking the lower bound's soundness — rebuild the
+        index instead when the spatial universe grows.
+        """
+        box = self.grid.box
+        for p in trajectory:
+            if not (box.min_x <= p.x <= box.max_x and box.min_y <= p.y <= box.max_y):
+                raise ValueError(
+                    f"point {p.coord} outside the index bounding box; rebuild required"
+                )
+        self.db.add(trajectory)  # validates ID freshness first
+        tid = trajectory.trajectory_id
+        leaf = self.grid.leaf_level
+        for point in trajectory:
+            if not point.activities:
+                continue
+            code = leaf.locate(point.coord)
+            self.hicl.add_point(code, point.activities)
+            for activity in point.activities:
+                self.itl.add_posting(code, activity, tid)
+        self.sketches[tid] = TrajectorySketch.from_activities(
+            trajectory.activity_union, self.config.sketch_intervals
+        )
+        self.apl.store(trajectory)
+
+    # ------------------------------------------------------------------
+    # Sizing (Figure 8's memory-cost series)
+    # ------------------------------------------------------------------
+    def memory_cost_bytes(self) -> int:
+        """In-memory footprint: memory-resident HICL levels + ITL + TAS."""
+        return (
+            self.hicl.memory_cost_bytes()
+            + self.itl.memory_cost_bytes()
+            + sketch_memory_bytes(len(self.db), self.config.sketch_intervals)
+        )
+
+    def disk_cost_bytes(self) -> int:
+        """Bytes parked on the simulated disk (low HICL levels + APL)."""
+        return self.disk.total_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GATIndex(d={self.config.depth}, mem_levels={self.config.memory_levels}, "
+            f"M={self.config.sketch_intervals}, trajectories={len(self.db)})"
+        )

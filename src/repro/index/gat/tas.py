@@ -1,0 +1,105 @@
+"""TAS — Trajectory Activity Sketch (Section IV, component iii).
+
+A per-trajectory, in-memory summary of the trajectory's activity set as
+``M`` integer intervals over the (frequency-ordered) activity IDs.  The
+sketch supports a superset test with *no false dismissals*: if an activity
+ID falls outside every interval, the trajectory certainly does not contain
+it; if it falls inside, the trajectory *may* contain it (false positives
+are later removed by the APL check).
+
+Interval construction (paper): sort the trajectory's activity IDs, compute
+consecutive gaps, and split at the ``M - 1`` largest gaps.  That choice
+minimises the total interval span — "relocating any split point (with gap
+g) to other places (with gap g') will result in increase by g - g' on the
+overall size of the intervals" — and is verified against brute force in the
+test suite.
+
+Each interval costs two integers, so the paper prices the whole structure
+at ``8 * M * N`` bytes for N trajectories; :func:`sketch_memory_bytes`
+reproduces that accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.model.database import TrajectoryDatabase
+
+
+def optimal_intervals(sorted_ids: Sequence[int], m: int) -> Tuple[Tuple[int, int], ...]:
+    """Partition ascending *sorted_ids* into at most *m* intervals with
+    minimum total span, by splitting at the ``m - 1`` largest gaps.
+
+    Returns ``((lo, hi), ...)`` intervals in ascending order.  Fewer than
+    *m* intervals come back when there are fewer than *m* distinct IDs.
+    """
+    if m <= 0:
+        raise ValueError("the number of intervals must be positive")
+    ids = list(dict.fromkeys(sorted_ids))  # dedupe, keep sorted order
+    if not ids:
+        return ()
+    if any(ids[i] > ids[i + 1] for i in range(len(ids) - 1)):
+        raise ValueError("activity IDs must be sorted ascending")
+    if len(ids) <= m:
+        return tuple((v, v) for v in ids)
+
+    # Gaps between consecutive IDs; split at the m-1 largest.
+    gaps = [(ids[i + 1] - ids[i], i) for i in range(len(ids) - 1)]
+    gaps.sort(key=lambda g: (-g[0], g[1]))
+    split_after = sorted(i for _gap, i in gaps[: m - 1])
+
+    intervals: List[Tuple[int, int]] = []
+    start = 0
+    for cut in split_after:
+        intervals.append((ids[start], ids[cut]))
+        start = cut + 1
+    intervals.append((ids[start], ids[-1]))
+    return tuple(intervals)
+
+
+class TrajectorySketch:
+    """The interval sketch of one trajectory."""
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Tuple[Tuple[int, int], ...]) -> None:
+        self.intervals = intervals
+
+    @classmethod
+    def from_activities(cls, activities: Iterable[int], m: int) -> "TrajectorySketch":
+        return cls(optimal_intervals(sorted(activities), m))
+
+    def covers(self, activity_id: int) -> bool:
+        """Is *activity_id* inside some interval?  (May be a false positive.)"""
+        for lo, hi in self.intervals:
+            if lo <= activity_id <= hi:
+                return True
+            if activity_id < lo:
+                return False  # intervals are ascending and disjoint
+        return False
+
+    def covers_all(self, activity_ids: Iterable[int]) -> bool:
+        """Superset test for the whole query activity set ``Q.Φ`` — the
+        candidate-validation filter of Section V-C."""
+        return all(self.covers(a) for a in activity_ids)
+
+    def total_span(self) -> int:
+        """``sum |I_a|`` — the objective the split placement minimises."""
+        return sum(hi - lo for lo, hi in self.intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TrajectorySketch(" + " ".join(f"[{lo},{hi}]" for lo, hi in self.intervals) + ")"
+
+
+def build_sketches(db: TrajectoryDatabase, m: int) -> Dict[int, TrajectorySketch]:
+    """Sketch every trajectory of *db* with *m* intervals."""
+    return {
+        tr.trajectory_id: TrajectorySketch.from_activities(tr.activity_union, m)
+        for tr in db
+    }
+
+
+def sketch_memory_bytes(n_trajectories: int, m: int) -> int:
+    """The paper's cost model: each interval keeps two integers (8 bytes),
+    so N trajectories cost ``8 * M * N`` bytes."""
+    return 8 * m * n_trajectories

@@ -1,0 +1,68 @@
+"""Trajectory-level inverted activity lists — the IL baseline's index
+(Section III-A).
+
+"It aggregates the activities associated with each point in a trajectory,
+and then builds an inverted list for each activity."  Query processing
+filters to the trajectories containing *all* query activities (an
+intersection of posting lists) and scores every survivor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.model.database import TrajectoryDatabase
+
+
+class InvertedIndex:
+    """activity ID -> sorted trajectory IDs whose activity union contains it."""
+
+    __slots__ = ("_lists",)
+
+    def __init__(self) -> None:
+        self._lists: Dict[int, Tuple[int, ...]] = {}
+
+    @classmethod
+    def build(cls, db: TrajectoryDatabase) -> "InvertedIndex":
+        index = cls()
+        accum: Dict[int, List[int]] = {}
+        for trajectory in db:  # trajectories arrive in ascending-ID order
+            tid = trajectory.trajectory_id
+            for activity in trajectory.activity_union:
+                accum.setdefault(activity, []).append(tid)
+        index._lists = {a: tuple(sorted(tids)) for a, tids in accum.items()}
+        return index
+
+    def posting(self, activity: int) -> Tuple[int, ...]:
+        """Trajectory IDs containing *activity* anywhere."""
+        return self._lists.get(activity, ())
+
+    def trajectories_with_all(self, activities: Iterable[int]) -> Set[int]:
+        """Intersection of posting lists: the IL candidate set for a query
+        whose union activity set is *activities*.  Intersects smallest-first
+        so the working set shrinks as fast as possible."""
+        postings = [self.posting(a) for a in activities]
+        if not postings:
+            return set()
+        postings.sort(key=len)
+        if not postings[0]:
+            return set()
+        result = set(postings[0])
+        for p in postings[1:]:
+            result.intersection_update(p)
+            if not result:
+                break
+        return result
+
+    def trajectories_with_any(self, activities: Iterable[int]) -> Set[int]:
+        """Union of posting lists."""
+        out: Set[int] = set()
+        for activity in activities:
+            out.update(self.posting(activity))
+        return out
+
+    def n_activities(self) -> int:
+        return len(self._lists)
+
+    def memory_cost_bytes(self) -> int:
+        return sum(8 * len(tids) + 16 for tids in self._lists.values())

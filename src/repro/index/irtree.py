@@ -1,0 +1,92 @@
+"""IR-tree: the R-tree augmented with per-node inverted activity files
+(Section III-C, after Cong et al., VLDB 2009).
+
+"Each leaf node ... contains ... a pointer to an inverted file for the text
+descriptions of the objects stored in this node.  Each non-leaf node R
+contains ... a pointer to an inverted file for the union of the text
+descriptions of its child nodes."
+
+For query processing only one operation on the inverted file matters:
+*does this node contain any of the query's activities?* — so each node
+stores the union of its subtree's activity IDs (the set of terms of its
+inverted file), and leaf entries keep their own activity sets.  The
+searcher skips any node whose term set is disjoint from the query's
+(Section III-C: "If not, all the places enclosed in this node can be pruned
+directly").
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Sequence, Tuple
+
+from repro.index.rtree import RTree, RTreeEntry, RTreeNode
+
+
+class IRTree:
+    """An R-tree whose nodes carry activity-term sets.
+
+    Build with :meth:`bulk_load` from ``(x, y, payload, activities)``
+    tuples; the payload convention is the same as the RT baseline's
+    (``(trajectory_id, position)``).
+    """
+
+    def __init__(self, tree: RTree) -> None:
+        self.tree = tree
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[Tuple[float, float, Any, FrozenSet[int]]],
+        max_entries: int = 32,
+    ) -> "IRTree":
+        base = RTree.bulk_load(
+            [(x, y, (payload, activities)) for x, y, payload, activities in items],
+            max_entries=max_entries,
+        )
+        irtree = cls(base)
+        if base.size:
+            irtree._annotate(base.root)
+        return irtree
+
+    def _annotate(self, node: RTreeNode) -> FrozenSet[int]:
+        """Bottom-up union of activity sets (building the inverted files)."""
+        union: set[int] = set()
+        if node.is_leaf:
+            for entry in node.children:
+                _payload, activities = entry.payload
+                union |= activities
+        else:
+            for child in node.children:
+                union |= self._annotate(child)
+        node.activities = frozenset(union)
+        return node.activities
+
+    # ------------------------------------------------------------------
+    # Accessors used by the searcher
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> RTreeNode:
+        return self.tree.root
+
+    @property
+    def size(self) -> int:
+        return self.tree.size
+
+    @staticmethod
+    def node_has_any(node: RTreeNode, activities: Iterable[int]) -> bool:
+        """Inverted-file check: does the node's subtree contain at least one
+        of *activities*?"""
+        terms = node.activities
+        if terms is None:
+            return True  # unannotated (empty tree edge case) — never prune
+        return any(a in terms for a in activities)
+
+    @staticmethod
+    def entry_payload(entry: RTreeEntry) -> Any:
+        payload, _activities = entry.payload
+        return payload
+
+    @staticmethod
+    def entry_activities(entry: RTreeEntry) -> FrozenSet[int]:
+        _payload, activities = entry.payload
+        return activities

@@ -1,0 +1,156 @@
+"""A simulated disk: a keyed object store with logical-I/O accounting.
+
+Why simulate?  The paper stores the Activity Posting Lists and the two
+lowest HICL levels "on hard disk" and argues about memory budgets
+(Section IV).  Reproducing spinning-disk latencies would make benchmarks
+nondeterministic and machine-bound; what actually matters for comparing
+index designs is *how many page accesses* each strategy performs.  So the
+store serialises values to bytes (their true on-disk size), rounds sizes up
+to pages, and counts reads/writes.  An optional per-read latency can be
+injected for demonstrations but defaults to zero.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, Optional
+
+from repro.storage.serialization import deserialize_obj, serialize_obj
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass(slots=True)
+class DiskStats:
+    """Running counters of logical disk activity."""
+
+    reads: int = 0
+    writes: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.pages_read = 0
+        self.pages_written = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def snapshot(self) -> "DiskStats":
+        return DiskStats(
+            self.reads,
+            self.writes,
+            self.pages_read,
+            self.pages_written,
+            self.bytes_read,
+            self.bytes_written,
+        )
+
+    def delta(self, earlier: "DiskStats") -> "DiskStats":
+        """Counters accumulated since *earlier* (a snapshot)."""
+        return DiskStats(
+            self.reads - earlier.reads,
+            self.writes - earlier.writes,
+            self.pages_read - earlier.pages_read,
+            self.pages_written - earlier.pages_written,
+            self.bytes_read - earlier.bytes_read,
+            self.bytes_written - earlier.bytes_written,
+        )
+
+
+@dataclass(slots=True)
+class _Record:
+    payload: bytes
+    n_pages: int
+
+
+class SimulatedDisk:
+    """Keyed byte store with page-granular accounting.
+
+    Parameters
+    ----------
+    page_size:
+        Logical page size in bytes; every object occupies a whole number of
+        pages (minimum one).
+    read_latency_s:
+        Optional artificial latency injected per *read call* (not per page).
+        Zero by default so tests and benchmarks stay fast and deterministic.
+    """
+
+    def __init__(
+        self, page_size: int = DEFAULT_PAGE_SIZE, read_latency_s: float = 0.0
+    ) -> None:
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self.read_latency_s = read_latency_s
+        self.stats = DiskStats()
+        self._records: Dict[Hashable, _Record] = {}
+
+    # ------------------------------------------------------------------
+    # Store / load
+    # ------------------------------------------------------------------
+    def put(self, key: Hashable, value: Any) -> int:
+        """Serialise and store *value* under *key*; returns pages written."""
+        payload = serialize_obj(value)
+        n_pages = max(1, -(-len(payload) // self.page_size))
+        self._records[key] = _Record(payload, n_pages)
+        self.stats.writes += 1
+        self.stats.pages_written += n_pages
+        self.stats.bytes_written += len(payload)
+        return n_pages
+
+    def get(self, key: Hashable) -> Any:
+        """Load and deserialise the value stored under *key*.
+
+        Raises
+        ------
+        KeyError
+            If nothing was stored under *key*.
+        """
+        record = self._records[key]
+        self.stats.reads += 1
+        self.stats.pages_read += record.n_pages
+        self.stats.bytes_read += len(record.payload)
+        if self.read_latency_s > 0.0:
+            time.sleep(self.read_latency_s)
+        return deserialize_obj(record.payload)
+
+    def get_or_none(self, key: Hashable) -> Optional[Any]:
+        """Like :meth:`get` but returns ``None`` for a missing key.
+
+        A miss still counts as a read call (the seek happened), with zero
+        pages transferred.
+        """
+        record = self._records.get(key)
+        if record is None:
+            self.stats.reads += 1
+            return None
+        return self.get(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        """Total serialised bytes currently stored."""
+        return sum(len(r.payload) for r in self._records.values())
+
+    def total_pages(self) -> int:
+        """Total pages currently occupied."""
+        return sum(r.n_pages for r in self._records.values())
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

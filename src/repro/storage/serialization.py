@@ -1,0 +1,22 @@
+"""Compact binary serialisation for the structures the GAT index persists.
+
+The simulated disk stores opaque byte strings.  We serialise with the
+standard-library :mod:`pickle` at the highest protocol — the point of the
+storage layer is to *count* bytes and pages, not to be portable — but keep
+the functions behind a seam so a schema-aware encoder could be dropped in.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+
+def serialize_obj(obj: Any) -> bytes:
+    """Encode *obj* to bytes."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize_obj(payload: bytes) -> Any:
+    """Decode bytes produced by :func:`serialize_obj`."""
+    return pickle.loads(payload)

@@ -1,0 +1,115 @@
+"""Unit tests for the three baseline searchers."""
+
+import math
+
+import pytest
+
+from repro.baselines import InvertedListSearch, IRTreeSearch, RTreeSearch
+from repro.core.evaluator import MatchEvaluator
+from repro.core.query import Query, QueryPoint
+
+
+def _query_from(db, rng_seed=0, nq=2, na=2):
+    import random
+
+    rng = random.Random(rng_seed)
+    while True:
+        tr = db.trajectories[rng.randrange(len(db))]
+        pts = [p for p in tr if p.activities]
+        if len(pts) >= nq:
+            qps = []
+            for p in rng.sample(pts, nq):
+                acts = rng.sample(sorted(p.activities), min(na, len(p.activities)))
+                qps.append(QueryPoint(p.x, p.y, frozenset(acts)))
+            return Query(qps)
+
+
+@pytest.fixture(scope="module")
+def searchers(small_db):
+    return {
+        "IL": InvertedListSearch(small_db),
+        "RT": RTreeSearch(small_db),
+        "IRT": IRTreeSearch(small_db),
+    }
+
+
+def _brute_topk(db, query, k, order_sensitive=False):
+    ev = MatchEvaluator()
+    dists = []
+    for tr in db:
+        d = ev.dmom(query, tr) if order_sensitive else ev.dmm(query, tr)
+        if not math.isinf(d):
+            dists.append(d)
+    return sorted(dists)[:k]
+
+
+@pytest.mark.parametrize("name", ["IL", "RT", "IRT"])
+class TestCorrectness:
+    def test_atsq_matches_bruteforce(self, searchers, small_db, name):
+        s = searchers[name]
+        for seed in range(4):
+            q = _query_from(small_db, seed)
+            got = [r.distance for r in s.atsq(q, k=5)]
+            assert got == pytest.approx(_brute_topk(small_db, q, 5))
+
+    def test_oatsq_matches_bruteforce(self, searchers, small_db, name):
+        s = searchers[name]
+        for seed in range(3):
+            q = _query_from(small_db, seed)
+            got = [r.distance for r in s.oatsq(q, k=4)]
+            assert got == pytest.approx(_brute_topk(small_db, q, 4, order_sensitive=True))
+
+    def test_results_distinct_and_sorted(self, searchers, small_db, name):
+        s = searchers[name]
+        q = _query_from(small_db, 7)
+        results = s.atsq(q, k=6)
+        ids = [r.trajectory_id for r in results]
+        assert len(set(ids)) == len(ids)
+        dists = [r.distance for r in results]
+        assert dists == sorted(dists)
+
+    def test_explain(self, searchers, small_db, name):
+        s = searchers[name]
+        q = _query_from(small_db, 8)
+        for r in s.atsq(q, k=2, explain=True):
+            assert r.matches is not None and len(r.matches) == len(q)
+
+
+class TestWorkCounters:
+    def test_il_candidates_equal_intersection(self, searchers, small_db):
+        il = searchers["IL"]
+        q = _query_from(small_db, 2)
+        il.atsq(q, k=3)
+        want = len(il.index.trajectories_with_all(q.all_activities))
+        assert il.stats.candidates_retrieved == want
+
+    def test_rt_accesses_nodes(self, searchers, small_db):
+        rt = searchers["RT"]
+        q = _query_from(small_db, 2)
+        rt.atsq(q, k=3)
+        assert rt.stats.nodes_accessed > 0
+        assert rt.stats.points_popped > 0
+
+    def test_irt_prunes_vs_rt(self, small_db):
+        """With a selective (rare-activity) query, the IR-tree should pop
+        no more points than the plain R-tree."""
+        rt = RTreeSearch(small_db)
+        irt = IRTreeSearch(small_db)
+        # Rarest activity = highest ID in the frequency-ordered vocabulary.
+        rare = len(small_db.vocabulary) - 1
+        holder = next(
+            tr for tr in small_db if rare in tr.activity_union
+        )
+        pos = next(p for p in holder if rare in p.activities)
+        q = Query([QueryPoint(pos.x, pos.y, frozenset({rare}))])
+        rt.atsq(q, k=1)
+        irt.atsq(q, k=1)
+        assert irt.stats.points_popped <= rt.stats.points_popped
+
+    def test_stats_reset_between_queries(self, searchers, small_db):
+        il = searchers["IL"]
+        q = _query_from(small_db, 3)
+        il.atsq(q, k=3)
+        first = il.stats.candidates_retrieved
+        il.atsq(q, k=3)
+        assert il.stats.candidates_retrieved == first  # reset, not accumulated

@@ -1,0 +1,63 @@
+"""Smoke tests for the per-figure experiment definitions (micro scale).
+
+These don't assert performance claims — they assert the sweeps run, cover
+the right x-axes, and produce well-formed results, so the benchmark suite
+can't silently rot.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentScale,
+    effect_of_activities,
+    effect_of_dataset_size,
+    effect_of_diameter,
+    effect_of_granularity,
+    effect_of_k,
+    effect_of_query_points,
+)
+from repro.bench.harness import ExperimentHarness
+from repro.index.gat.index import GATConfig
+
+MICRO = ExperimentScale(dataset_scale=0.01, n_queries=1, seed=5)
+
+
+@pytest.fixture(scope="module")
+def harness(tiny_db):
+    return ExperimentHarness(tiny_db, gat_config=GATConfig(depth=4, memory_levels=4))
+
+
+def test_effect_of_k(tiny_db, harness):
+    results = effect_of_k(tiny_db, MICRO, k_values=(1, 3), harness=harness)
+    assert [r.x_value for r in results] == [1, 3]
+    for point in results:
+        assert set(point.timings) == {"IL", "RT", "IRT", "GAT"}
+        assert all(t.n_queries == 1 for t in point.timings.values())
+
+
+def test_effect_of_query_points(tiny_db, harness):
+    results = effect_of_query_points(tiny_db, MICRO, nq_values=(1, 2), harness=harness)
+    assert [r.x_value for r in results] == [1, 2]
+
+
+def test_effect_of_activities(tiny_db, harness):
+    results = effect_of_activities(tiny_db, MICRO, na_values=(1, 2), harness=harness)
+    assert [r.x_value for r in results] == [1, 2]
+
+
+def test_effect_of_diameter(tiny_db, harness):
+    results = effect_of_diameter(tiny_db, MICRO, diameters=(1.0, 2.0), harness=harness)
+    assert [r.x_value for r in results] == [1.0, 2.0]
+
+
+def test_effect_of_dataset_size(tiny_db):
+    results = effect_of_dataset_size(tiny_db, MICRO, sizes=(20, len(tiny_db)))
+    assert [r.x_value for r in results] == [20, len(tiny_db)]
+
+
+def test_effect_of_granularity(tiny_db):
+    rows = effect_of_granularity(tiny_db, MICRO, depths=(3, 4))
+    assert [r["depth"] for r in rows] == [3, 4]
+    assert all(r["memory_bytes"] > 0 for r in rows)
+    assert all(r["atsq_avg_s"] >= 0 for r in rows)
+    assert rows[0]["partitions"] == 8

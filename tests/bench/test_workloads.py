@@ -1,0 +1,101 @@
+"""Unit tests for the query workload generator."""
+
+import pytest
+
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def gen(small_db):
+    return QueryWorkloadGenerator(small_db, WorkloadConfig(seed=3))
+
+
+class TestConfig:
+    def test_defaults_match_table5(self):
+        cfg = WorkloadConfig()
+        assert cfg.n_query_points == 4
+        assert cfg.n_activities_per_point == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_query_points=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_activities_per_point=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(head_size=0)
+
+
+class TestQueryShape:
+    def test_default_shape(self, gen):
+        q = gen.query()
+        assert len(q) == 4
+        assert all(len(p.activities) == 3 for p in q)
+
+    def test_custom_shape(self, gen):
+        q = gen.query(n_query_points=2, n_activities_per_point=1)
+        assert len(q) == 2
+        assert all(len(p.activities) == 1 for p in q)
+
+    def test_batch(self, gen):
+        qs = gen.queries(5)
+        assert len(qs) == 5
+
+    def test_head_restriction(self, small_db):
+        head = 30
+        gen = QueryWorkloadGenerator(
+            small_db, WorkloadConfig(head_size=head, seed=1)
+        )
+        for q in gen.queries(10):
+            for p in q:
+                assert all(a < head for a in p.activities)
+
+    def test_no_head_restriction(self, small_db):
+        gen = QueryWorkloadGenerator(small_db, WorkloadConfig(head_size=None, seed=1))
+        q = gen.query()
+        assert len(q) == 4  # shape still honoured
+
+    def test_deterministic_for_seed(self, small_db):
+        a = QueryWorkloadGenerator(small_db, WorkloadConfig(seed=11)).queries(3)
+        b = QueryWorkloadGenerator(small_db, WorkloadConfig(seed=11)).queries(3)
+        for qa, qb in zip(a, b):
+            assert [(p.x, p.y, p.activities) for p in qa] == [
+                (p.x, p.y, p.activities) for p in qb
+            ]
+
+    def test_queries_have_matches(self, gen, small_db):
+        """Every anchored query must match at least one trajectory (its
+        anchor), as in the paper's methodology."""
+        from repro.index.inverted import InvertedIndex
+
+        inv = InvertedIndex.build(small_db)
+        for q in gen.queries(10):
+            assert inv.trajectories_with_all(q.all_activities)
+
+    def test_points_in_trajectory_order(self, gen):
+        """Sampled query points follow the anchor's visiting order, so
+        OATSQ queries are satisfiable by construction."""
+        # Indirect check: diameters positive and queries valid; order is
+        # enforced by construction (positions sorted before use).
+        q = gen.query()
+        assert q.diameter() >= 0.0
+
+
+class TestDiameterControl:
+    def test_exact_diameter(self, gen):
+        for target in (1.0, 3.0):
+            q = gen.query_with_diameter(target)
+            assert q.diameter() == pytest.approx(target, rel=1e-6)
+
+    def test_activities_preserved(self, gen):
+        q = gen.query_with_diameter(2.0)
+        assert all(p.activities for p in q)
+
+    def test_single_point_rejected(self, gen):
+        with pytest.raises(ValueError):
+            gen.query_with_diameter(1.0, n_query_points=1)
+
+    def test_batch(self, gen):
+        qs = gen.queries_with_diameter(3, 2.0)
+        assert len(qs) == 3
+        for q in qs:
+            assert q.diameter() == pytest.approx(2.0, rel=1e-6)

@@ -1,0 +1,121 @@
+"""Unit tests for the Frontier structure and Algorithm 2's lower bound."""
+
+import math
+
+import pytest
+
+from repro.core.lower_bound import Frontier, lower_bound_distance
+from repro.core.query import Query, QueryPoint
+from repro.geometry.grid import HierarchicalGrid
+from repro.index.gat.hicl import HICL
+from repro.model.database import TrajectoryDatabase
+
+INF = math.inf
+
+
+class TestFrontier:
+    def test_sorted_insertion(self):
+        f = Frontier()
+        f.add(3.0, 2, 10)
+        f.add(1.0, 2, 11)
+        f.add(2.0, 3, 12)
+        assert [e[0] for e in f.nearest(3)] == [1.0, 2.0, 3.0]
+
+    def test_remove_present(self):
+        f = Frontier()
+        f.add(1.0, 2, 10)
+        f.add(2.0, 2, 11)
+        f.remove(1.0, 2, 10)
+        assert len(f) == 1
+        assert f.nearest(1)[0][2] == 11
+
+    def test_remove_absent_is_noop(self):
+        f = Frontier()
+        f.add(1.0, 2, 10)
+        f.remove(9.0, 9, 99)
+        assert len(f) == 1
+
+    def test_mth_distance(self):
+        f = Frontier()
+        for i in range(5):
+            f.add(float(i), 1, i)
+        assert f.mth_distance(3) == 2.0
+        assert f.mth_distance(5) == 4.0
+        assert f.mth_distance(6) == INF
+
+    def test_bool(self):
+        f = Frontier()
+        assert not f
+        f.add(1.0, 1, 0)
+        assert f
+
+
+class TestLowerBound:
+    @pytest.fixture
+    def setup(self):
+        db = TrajectoryDatabase.from_raw(
+            [[(1.0, 1.0, ["a"]), (9.0, 9.0, ["b"])]]
+        )
+        grid = HierarchicalGrid(db.bounding_box, depth=3)
+        hicl = HICL.build(db, grid, memory_levels=3)
+        return db, grid, hicl
+
+    def test_empty_frontier_is_infinite(self, setup):
+        db, grid, hicl = setup
+        a = db.vocabulary.id_of("a")
+        query = Query([QueryPoint(1.0, 1.0, frozenset({a}))])
+        assert lower_bound_distance(query, {0: Frontier()}, hicl, m=4) == INF
+
+    def test_single_covering_cell(self, setup):
+        db, grid, hicl = setup
+        a = db.vocabulary.id_of("a")
+        query = Query([QueryPoint(1.0, 1.0, frozenset({a}))])
+        leaf = grid.locate_leaf((1.0, 1.0))
+        f = Frontier()
+        f.add(2.5, leaf.level, leaf.code)
+        # One cell covering 'a' at mdist 2.5 -> contribution 2.5.
+        assert lower_bound_distance(query, {0: f}, hicl, m=4) == pytest.approx(2.5)
+
+    def test_cap_by_mth_cell(self, setup):
+        db, grid, hicl = setup
+        a = db.vocabulary.id_of("a")
+        b = db.vocabulary.id_of("b")
+        # Query wants both a and b; frontier holds one a-cell and one b-cell.
+        query = Query([QueryPoint(1.0, 1.0, frozenset({a, b}))])
+        leaf_a = grid.locate_leaf((1.0, 1.0))
+        leaf_b = grid.locate_leaf((9.0, 9.0))
+        f = Frontier()
+        f.add(1.0, leaf_a.level, leaf_a.code)
+        f.add(4.0, leaf_b.level, leaf_b.code)
+        # Virtual cover: a@1.0 + b@4.0 = 5.0, capped by m-th (=2nd) cell 4.0.
+        assert lower_bound_distance(query, {0: f}, hicl, m=2) == pytest.approx(4.0)
+
+    def test_uncoverable_virtual_with_few_cells_is_inf(self, setup):
+        db, grid, hicl = setup
+        a = db.vocabulary.id_of("a")
+        b = db.vocabulary.id_of("b")
+        query = Query([QueryPoint(1.0, 1.0, frozenset({a, b}))])
+        leaf_a = grid.locate_leaf((1.0, 1.0))
+        f = Frontier()
+        f.add(1.0, leaf_a.level, leaf_a.code)  # only covers 'a'
+        # Fewer cells than m and no way to cover b -> inf (sound: frontier
+        # is the complete unvisited region).
+        assert lower_bound_distance(query, {0: f}, hicl, m=4) == INF
+
+    def test_sums_over_query_points(self, setup):
+        db, grid, hicl = setup
+        a = db.vocabulary.id_of("a")
+        b = db.vocabulary.id_of("b")
+        query = Query(
+            [
+                QueryPoint(1.0, 1.0, frozenset({a})),
+                QueryPoint(9.0, 9.0, frozenset({b})),
+            ]
+        )
+        leaf_a = grid.locate_leaf((1.0, 1.0))
+        leaf_b = grid.locate_leaf((9.0, 9.0))
+        fa, fb = Frontier(), Frontier()
+        fa.add(1.5, leaf_a.level, leaf_a.code)
+        fb.add(2.5, leaf_b.level, leaf_b.code)
+        got = lower_bound_distance(query, {0: fa, 1: fb}, hicl, m=4)
+        assert got == pytest.approx(4.0)

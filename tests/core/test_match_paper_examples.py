@@ -1,0 +1,113 @@
+"""Exact reproduction of the paper's Algorithm 3 worked example (Table II).
+
+The query point has activities {a, b, c, d}; seven candidate points arrive
+in ascending distance order.  Table II lists the hash-table updates after
+each point and the evolving Dmpm; the algorithm stops before processing
+p7 because Dmpm = 30 < 31 = d(p7, q).
+"""
+
+import math
+
+import pytest
+
+from repro.core.match import (
+    PointMatchTable,
+    minimum_point_match,
+    minimum_point_match_distance,
+)
+from repro.model.distance import MatrixDistance
+from repro.model.point import TrajectoryPoint
+
+A, B, C, D = 0, 1, 2, 3
+QUERY_ACTIVITIES = frozenset({A, B, C, D})
+
+# (activities, distance) in the order of Table II.
+TABLE_II = [
+    ({A}, 10.0),
+    ({B, C}, 11.0),
+    ({A, B}, 13.0),
+    ({D}, 15.0),
+    ({C, D}, 17.0),
+    ({A, B, C}, 26.0),
+    ({A, B, C, D}, 31.0),
+]
+
+
+@pytest.fixture
+def setup():
+    q = (0.0, -1.0)
+    table = {}
+    points = []
+    for i, (acts, dist) in enumerate(TABLE_II):
+        coord = (float(i), 0.0)
+        table[(q, coord)] = dist
+        points.append((i, TrajectoryPoint(coord[0], coord[1], frozenset(acts))))
+    return q, points, MatrixDistance(table)
+
+
+def test_final_dmpm_is_30(setup):
+    q, points, metric = setup
+    assert minimum_point_match_distance(q, QUERY_ACTIVITIES, points, metric) == 30.0
+
+
+def test_early_termination_skips_p7(setup):
+    """p7 (distance 31) must not be processed: Dmpm = 30 < 31."""
+    q, points, metric = setup
+    trace = []
+    minimum_point_match_distance(q, QUERY_ACTIVITIES, points, metric, trace=trace)
+    assert len(trace) == 6  # p1..p6 processed, p7 skipped
+
+
+def test_hash_states_follow_table2(setup):
+    q, points, metric = setup
+    trace = []
+    minimum_point_match_distance(q, QUERY_ACTIVITIES, points, metric, trace=trace)
+    fs = frozenset
+
+    # After p1: {a}: 10.
+    assert trace[0] == {fs({A}): 10.0}
+    # After p2: the paper's row lists {b},{c},{bc} = 11 and the combined
+    # {ab},{ac} = 21, {abc} = 21.
+    assert trace[1][fs({B})] == 11.0
+    assert trace[1][fs({C})] == 11.0
+    assert trace[1][fs({B, C})] == 11.0
+    assert trace[1][fs({A, B})] == 21.0
+    assert trace[1][fs({A, C})] == 21.0
+    assert trace[1][fs({A, B, C})] == 21.0
+    # After p3: only {a,b} improves to 13.
+    assert trace[2][fs({A, B})] == 13.0
+    assert trace[2][fs({A, B, C})] == 21.0  # unchanged
+    # After p4: full set reachable at 36.
+    assert trace[3][fs({D})] == 15.0
+    assert trace[3][fs({A, D})] == 25.0
+    assert trace[3][fs({B, D})] == 26.0
+    assert trace[3][fs({C, D})] == 26.0
+    assert trace[3][fs({B, C, D})] == 26.0
+    assert trace[3][fs({A, B, C, D})] == 36.0
+    # After p5: {c,d} = 17 improves the full set to 30.
+    assert trace[4][fs({C, D})] == 17.0
+    assert trace[4][fs({A, C, D})] == 27.0
+    assert trace[4][fs({A, B, C, D})] == 30.0
+    # After p6: no update (H[{a,b,c}] = 21 < 26).
+    assert trace[5] == trace[4]
+
+
+def test_match_reconstruction_uses_p3_p5(setup):
+    """The 30-cost cover is {p3:{a,b}@13, p5:{c,d}@17} = positions 2 and 4
+    (H[{a,b}] = 13 combined with H[{c,d}] = 17 in Table II's final state)."""
+    q, points, metric = setup
+    dist, positions = minimum_point_match(q, QUERY_ACTIVITIES, points, metric)
+    assert dist == 30.0
+    assert positions == (2, 4)
+
+
+def test_no_match_when_activity_absent(setup):
+    q, points, metric = setup
+    missing = frozenset({A, B, C, D, 99})
+    assert minimum_point_match_distance(q, missing, points, metric) == math.inf
+
+
+def test_table_snapshot_roundtrip():
+    table = PointMatchTable([A, B, C])
+    mask = table.overlap_mask(frozenset({A, C, 77}))
+    assert table.mask_to_set(mask) == frozenset({A, C})

@@ -1,0 +1,93 @@
+"""Unit tests for the top-k collector."""
+
+import math
+
+import pytest
+
+from repro.core.results import SearchResult, TopKCollector
+
+
+def _r(tid, dist):
+    return SearchResult(tid, dist)
+
+
+class TestOffer:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TopKCollector(0)
+
+    def test_fills_up_to_k(self):
+        c = TopKCollector(2)
+        assert c.offer(_r(1, 5.0))
+        assert c.offer(_r(2, 7.0))
+        assert not c.offer(_r(3, 9.0))  # worse than current worst
+        assert len(c) == 2
+
+    def test_better_replaces_worst(self):
+        c = TopKCollector(2)
+        c.offer(_r(1, 5.0))
+        c.offer(_r(2, 7.0))
+        assert c.offer(_r(3, 6.0))
+        assert [r.trajectory_id for r in c.results()] == [1, 3]
+
+    def test_infinite_distance_rejected(self):
+        c = TopKCollector(2)
+        assert not c.offer(_r(1, math.inf))
+        assert len(c) == 0
+
+    def test_duplicate_trajectory_rejected(self):
+        c = TopKCollector(3)
+        assert c.offer(_r(1, 5.0))
+        assert not c.offer(_r(1, 1.0))
+        assert len(c) == 1
+
+    def test_membership(self):
+        c = TopKCollector(2)
+        c.offer(_r(4, 2.0))
+        assert 4 in c
+        assert 5 not in c
+
+
+class TestKthDistance:
+    def test_inf_until_full(self):
+        c = TopKCollector(3)
+        c.offer(_r(1, 5.0))
+        c.offer(_r(2, 6.0))
+        assert c.kth_distance() == math.inf
+        c.offer(_r(3, 7.0))
+        assert c.kth_distance() == 7.0
+
+    def test_tracks_improvements(self):
+        c = TopKCollector(2)
+        c.offer(_r(1, 5.0))
+        c.offer(_r(2, 9.0))
+        assert c.kth_distance() == 9.0
+        c.offer(_r(3, 4.0))
+        assert c.kth_distance() == 5.0
+
+
+class TestOrdering:
+    def test_results_sorted_by_distance_then_id(self):
+        c = TopKCollector(4)
+        for tid, d in [(9, 3.0), (2, 1.0), (5, 3.0), (7, 2.0)]:
+            c.offer(_r(tid, d))
+        assert [(r.trajectory_id, r.distance) for r in c.results()] == [
+            (2, 1.0),
+            (7, 2.0),
+            (5, 3.0),
+            (9, 3.0),
+        ]
+
+    def test_tie_at_boundary_prefers_smaller_id(self):
+        c = TopKCollector(1)
+        c.offer(_r(9, 3.0))
+        assert c.offer(_r(2, 3.0))  # same distance, smaller id wins
+        assert [r.trajectory_id for r in c.results()] == [2]
+
+    def test_eviction_keeps_membership_consistent(self):
+        c = TopKCollector(2)
+        c.offer(_r(1, 5.0))
+        c.offer(_r(2, 7.0))
+        c.offer(_r(3, 1.0))  # evicts 2
+        assert 2 not in c
+        assert c.offer(_r(2, 0.5))  # may re-enter after eviction

@@ -1,0 +1,60 @@
+"""Unit tests for check-in grouping (the paper's trajectory construction)."""
+
+from repro.data.checkin import CheckIn, group_checkins_into_trajectories
+from repro.model.vocabulary import Vocabulary
+
+
+def _ci(user, venue, t, acts=("food",)):
+    return CheckIn(
+        user_id=user,
+        venue_id=venue,
+        x=float(venue),
+        y=0.0,
+        timestamp=float(t),
+        activities=frozenset(acts),
+    )
+
+
+class TestGrouping:
+    def test_one_trajectory_per_user(self):
+        v = Vocabulary(["food"])
+        records = [_ci(1, 10, 0), _ci(2, 20, 0), _ci(1, 11, 1)]
+        trs = group_checkins_into_trajectories(records, v.encode)
+        assert len(trs) == 2
+        assert [len(t) for t in trs] == [2, 1]
+
+    def test_chronological_order_within_user(self):
+        v = Vocabulary(["food"])
+        records = [_ci(1, 30, 5), _ci(1, 10, 1), _ci(1, 20, 3)]
+        (tr,) = group_checkins_into_trajectories(records, v.encode)
+        assert [p.venue_id for p in tr] == [10, 20, 30]
+        assert [p.timestamp for p in tr] == [1.0, 3.0, 5.0]
+
+    def test_trajectory_ids_dense_by_user_order(self):
+        v = Vocabulary(["food"])
+        records = [_ci(9, 1, 0), _ci(3, 2, 0), _ci(7, 3, 0)]
+        trs = group_checkins_into_trajectories(records, v.encode)
+        assert [t.trajectory_id for t in trs] == [0, 1, 2]
+        # users sorted: 3 -> 0, 7 -> 1, 9 -> 2
+        assert trs[0][0].venue_id == 2
+        assert trs[1][0].venue_id == 3
+
+    def test_activities_are_encoded(self):
+        v = Vocabulary(["food", "coffee"])
+        records = [_ci(1, 1, 0, acts=("coffee", "food"))]
+        (tr,) = group_checkins_into_trajectories(records, v.encode)
+        assert tr[0].activities == frozenset({0, 1})
+
+    def test_timestamp_tie_broken_by_venue(self):
+        v = Vocabulary(["food"])
+        records = [_ci(1, 5, 0), _ci(1, 2, 0)]
+        (tr,) = group_checkins_into_trajectories(records, v.encode)
+        assert [p.venue_id for p in tr] == [2, 5]
+
+    def test_empty_activity_checkins_preserved(self):
+        v = Vocabulary([])
+        records = [
+            CheckIn(user_id=1, venue_id=1, x=0, y=0, timestamp=0, activities=frozenset())
+        ]
+        (tr,) = group_checkins_into_trajectories(records, v.encode)
+        assert tr[0].activities == frozenset()

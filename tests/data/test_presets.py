@@ -1,0 +1,62 @@
+"""Unit tests for the LA/NY dataset presets."""
+
+import pytest
+
+from repro.data.presets import PRESETS, dataset_from_preset, preset_config
+
+
+class TestPresetConfig:
+    def test_known_presets(self):
+        assert set(PRESETS) == {"la", "ny"}
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            preset_config("sf")
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            preset_config("la", 0.0)
+        with pytest.raises(ValueError):
+            preset_config("la", 1.5)
+
+    def test_scale_one_matches_table4_magnitudes(self):
+        la = preset_config("la", 1.0)
+        ny = preset_config("ny", 1.0)
+        assert la.n_users == 31_557  # Table IV #trajectory
+        assert ny.n_users == 49_027
+
+    def test_counts_scale_linearly_extent_by_sqrt(self):
+        full = preset_config("la", 1.0)
+        half = preset_config("la", 0.25)
+        assert half.n_users == pytest.approx(full.n_users * 0.25, rel=0.01)
+        assert half.width_km == pytest.approx(full.width_km * 0.5, rel=0.01)
+        assert half.height_km == pytest.approx(full.height_km * 0.5, rel=0.01)
+
+    def test_scaling_keeps_intensities(self):
+        full = preset_config("ny", 1.0)
+        small = preset_config("ny", 0.1)
+        assert small.checkins_per_user_mean == full.checkins_per_user_mean
+        assert small.activities_per_checkin_mean == full.activities_per_checkin_mean
+
+
+class TestGeneratedPresets:
+    def test_la_ny_contrast(self):
+        """Table IV's load-bearing ratios: NY has more trajectories; LA has
+        more activity occurrences per trajectory."""
+        la = dataset_from_preset("la", 0.01)
+        ny = dataset_from_preset("ny", 0.01)
+        assert len(ny) > len(la)
+        la_stats = la.statistics()
+        ny_stats = ny.statistics()
+        la_per_tr = la_stats.n_activities / la_stats.n_trajectories
+        ny_per_tr = ny_stats.n_activities / ny_stats.n_trajectories
+        assert la_per_tr > ny_per_tr
+
+    def test_seed_override_changes_data(self):
+        a = dataset_from_preset("la", 0.005)
+        b = dataset_from_preset("la", 0.005, seed=9999)
+        assert [p.coord for tr in a for p in tr] != [p.coord for tr in b for p in tr]
+
+    def test_name_encodes_scale(self):
+        db = dataset_from_preset("ny", 0.005)
+        assert db.name.startswith("ny@")

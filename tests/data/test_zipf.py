@@ -1,0 +1,71 @@
+"""Unit tests for the Zipf sampler."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.data.zipf import ZipfSampler
+
+
+class TestConstruction:
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, exponent=-0.5)
+
+    def test_pmf_sums_to_one(self):
+        probs = ZipfSampler(100, 1.2).pmf()
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_pmf_is_decreasing(self):
+        probs = ZipfSampler(50, 1.0).pmf()
+        assert all(probs[i] >= probs[i + 1] - 1e-15 for i in range(len(probs) - 1))
+
+    def test_exponent_zero_is_uniform(self):
+        probs = ZipfSampler(10, 0.0).pmf()
+        for p in probs:
+            assert p == pytest.approx(0.1)
+
+
+class TestSampling:
+    def test_samples_in_range(self):
+        z = ZipfSampler(20, 1.0)
+        rng = random.Random(1)
+        for _ in range(500):
+            assert 0 <= z.sample(rng) < 20
+
+    def test_head_dominates(self):
+        z = ZipfSampler(1000, 1.0)
+        rng = random.Random(2)
+        counts = Counter(z.sample_many(rng, 20_000))
+        # Rank 0 should be sampled far more than rank 500.
+        assert counts[0] > 20 * max(1, counts.get(500, 0))
+
+    def test_empirical_matches_pmf(self):
+        z = ZipfSampler(10, 1.0)
+        rng = random.Random(3)
+        n = 50_000
+        counts = Counter(z.sample_many(rng, n))
+        probs = z.pmf()
+        for rank in range(10):
+            assert counts[rank] / n == pytest.approx(probs[rank], abs=0.01)
+
+    def test_sample_distinct_returns_k_unique(self):
+        z = ZipfSampler(100, 1.0)
+        rng = random.Random(4)
+        picked = z.sample_distinct(rng, 10)
+        assert len(picked) == len(set(picked)) == 10
+
+    def test_sample_distinct_whole_vocabulary(self):
+        z = ZipfSampler(5, 1.0)
+        rng = random.Random(5)
+        assert z.sample_distinct(rng, 5) == [0, 1, 2, 3, 4]
+        assert z.sample_distinct(rng, 50) == [0, 1, 2, 3, 4]
+
+    def test_deterministic_given_seed(self):
+        z = ZipfSampler(50, 1.3)
+        a = z.sample_many(random.Random(42), 100)
+        b = z.sample_many(random.Random(42), 100)
+        assert a == b

@@ -1,0 +1,103 @@
+"""Unit tests for the hierarchical quad-grid."""
+
+import pytest
+
+from repro.geometry.grid import Cell, HierarchicalGrid
+from repro.geometry.primitives import BoundingBox
+
+
+@pytest.fixture
+def box():
+    return BoundingBox(0.0, 0.0, 64.0, 64.0)
+
+
+@pytest.fixture
+def grid(box):
+    return HierarchicalGrid(box, depth=4)  # 16 x 16 leaves
+
+
+class TestStructure:
+    def test_level_count(self, grid):
+        assert len(grid.levels) == 4
+        assert grid.level(1).side == 2
+        assert grid.level(4).side == 16
+
+    def test_bad_depth_raises(self, box):
+        with pytest.raises(ValueError):
+            HierarchicalGrid(box, depth=0)
+
+    def test_level_out_of_range_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.level(0)
+        with pytest.raises(ValueError):
+            grid.level(5)
+
+
+class TestLocate:
+    def test_locate_leaf_contains_point(self, grid):
+        for p in [(0.1, 0.1), (63.9, 63.9), (32.0, 16.0), (7.3, 55.5)]:
+            cell = grid.locate_leaf(p)
+            assert cell.level == 4
+            assert grid.rect(cell).contains_point(p)
+
+    def test_locate_any_level_contains_point(self, grid):
+        p = (40.5, 22.25)
+        for lvl in range(1, 5):
+            cell = grid.locate(p, lvl)
+            assert grid.rect(cell).contains_point(p)
+
+    def test_points_outside_box_clamp(self, grid):
+        cell = grid.locate_leaf((-5.0, 100.0))
+        assert cell.level == 4  # clamped, no crash
+        assert 0 <= cell.code < 256
+
+    def test_locate_consistent_with_ancestors(self, grid):
+        p = (13.0, 59.0)
+        leaf = grid.locate_leaf(p)
+        for lvl in range(1, 4):
+            assert grid.locate(p, lvl) == grid.cell_of_leaf_at(leaf.code, lvl)
+
+
+class TestHierarchyLinks:
+    def test_parent_rect_contains_child_rect(self, grid):
+        cell = grid.locate_leaf((10.0, 10.0))
+        child_rect = grid.rect(cell)
+        parent = cell.parent()
+        assert grid.rect(parent).contains_rect(child_rect)
+
+    def test_children_partition_parent(self, grid):
+        parent = Cell(2, 5)
+        kids = parent.children()
+        assert len(kids) == 4
+        total_area = sum(grid.rect(k).area for k in kids)
+        assert total_area == pytest.approx(grid.rect(parent).area)
+        for k in kids:
+            assert grid.rect(parent).contains_rect(grid.rect(k))
+
+    def test_level1_has_no_parent(self):
+        with pytest.raises(ValueError):
+            Cell(1, 0).parent()
+
+    def test_ancestors_walk_to_root_level(self, grid):
+        leaf = grid.locate_leaf((1.0, 1.0))
+        chain = list(grid.ancestors(leaf))
+        assert [c.level for c in chain] == [3, 2, 1]
+
+
+class TestMinDist:
+    def test_zero_inside(self, grid):
+        p = (33.0, 33.0)
+        cell = grid.locate_leaf(p)
+        assert grid.min_dist(p, cell) == 0.0
+
+    def test_child_min_dist_at_least_parent(self, grid):
+        # MINDIST is monotone up the hierarchy: the traversal relies on it.
+        p = (1.0, 1.0)
+        far_leaf = grid.locate_leaf((60.0, 60.0))
+        d_leaf = grid.min_dist(p, far_leaf)
+        for anc in grid.ancestors(far_leaf):
+            assert grid.min_dist(p, anc) <= d_leaf + 1e-12
+
+    def test_cell_of_leaf_at_validates(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_of_leaf_at(0, 9)

@@ -1,0 +1,131 @@
+"""Unit tests for rectangles, bounding boxes and MINDIST."""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import BoundingBox, Rect, euclidean, min_dist_point_rect
+
+
+class TestRectConstruction:
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point((2.0, 3.0))
+        assert r.min_x == r.max_x == 2.0
+        assert r.min_y == r.max_y == 3.0
+        assert r.area == 0.0
+
+    def test_from_points_is_tight(self):
+        r = Rect.from_points([(0, 0), (4, 1), (2, 5), (-1, 2)])
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (-1, 0, 4, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_geometry_accessors(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 4
+        assert r.height == 2
+        assert r.area == 8
+        assert r.margin == 6
+        assert r.center == (2.0, 1.0)
+
+
+class TestRectRelations:
+    def test_contains_point_boundary_inclusive(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point((0, 0))
+        assert r.contains_point((1, 1))
+        assert r.contains_point((0.5, 0.5))
+        assert not r.contains_point((1.0001, 0.5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(2, 2, 5, 5)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(outer)
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert a.intersects(Rect(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(Rect(2.1, 2.1, 3, 3))
+
+    def test_union_and_extend(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(2, 3, 4, 5)
+        u = a.union(b)
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0, 0, 4, 5)
+        e = a.extend_point((-1, 0.5))
+        assert e.min_x == -1 and e.max_x == 1
+
+    def test_enlargement(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.enlargement(Rect(0.5, 0.5, 1, 1)) == 0.0
+        assert a.enlargement(Rect(0, 0, 4, 2)) == pytest.approx(4.0)
+
+
+class TestMinDist:
+    def test_inside_is_zero(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.min_dist((1, 1)) == 0.0
+        assert r.min_dist((0, 0)) == 0.0  # boundary
+
+    def test_axis_aligned_gap(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.min_dist((5, 1)) == pytest.approx(3.0)
+        assert r.min_dist((1, -4)) == pytest.approx(4.0)
+
+    def test_corner_gap(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.min_dist((5, 6)) == pytest.approx(math.hypot(3, 4))
+
+    def test_function_form_matches_method(self):
+        r = Rect(0, 0, 2, 2)
+        p = (7.3, -1.2)
+        assert min_dist_point_rect(p, r) == r.min_dist(p)
+
+    def test_min_dist_lower_bounds_any_inner_point(self):
+        r = Rect(1, 1, 3, 4)
+        q = (-2.0, 0.5)
+        for corner in r.corners():
+            assert r.min_dist(q) <= euclidean(q, corner) + 1e-12
+
+
+class TestBoundingBox:
+    def test_requires_positive_extent(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 0, 1)
+
+    def test_from_points_pads(self):
+        box = BoundingBox.from_points([(0, 0), (10, 10)])
+        assert box.min_x < 0 < 10 < box.max_x
+        assert box.min_y < 0 < 10 < box.max_y
+
+    def test_normalise_in_unit_square(self):
+        box = BoundingBox(0, 0, 10, 20)
+        for p in [(0, 0), (10, 20), (5, 5), (-3, 25)]:  # clamps out-of-range
+            nx, ny = box.normalise(p)
+            assert 0.0 <= nx < 1.0
+            assert 0.0 <= ny < 1.0
+
+    def test_normalise_is_monotone(self):
+        box = BoundingBox(0, 0, 10, 10)
+        ax, _ = box.normalise((2, 5))
+        bx, _ = box.normalise((7, 5))
+        assert ax < bx
+
+    def test_as_rect_roundtrip(self):
+        box = BoundingBox(1, 2, 3, 4)
+        r = box.as_rect()
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (1, 2, 3, 4)
+
+
+def test_euclidean_basic():
+    assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+    assert euclidean((1, 1), (1, 1)) == 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for the Morton (Z-order) curve."""
+
+import pytest
+
+from repro.geometry.zcurve import z_children, z_decode, z_encode, z_parent
+
+
+class TestEncodeDecode:
+    def test_known_small_codes(self):
+        # Classic Morton layout at depth 1: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3.
+        assert z_encode(0, 0, 1) == 0
+        assert z_encode(1, 0, 1) == 1
+        assert z_encode(0, 1, 1) == 2
+        assert z_encode(1, 1, 1) == 3
+
+    def test_roundtrip_exhaustive_depth_3(self):
+        seen = set()
+        for cx in range(8):
+            for cy in range(8):
+                z = z_encode(cx, cy, 3)
+                assert z_decode(z, 3) == (cx, cy)
+                seen.add(z)
+        assert seen == set(range(64))  # bijection onto [0, 4^3)
+
+    def test_roundtrip_large_coordinates(self):
+        assert z_decode(z_encode(255, 255, 8), 8) == (255, 255)
+        assert z_decode(z_encode(0, 255, 8), 8) == (0, 255)
+        assert z_decode(z_encode(65535, 1, 16), 16) == (65535, 1)
+
+    def test_out_of_range_cell_raises(self):
+        with pytest.raises(ValueError):
+            z_encode(4, 0, 2)  # 2-grid is 4x4, max coord 3
+        with pytest.raises(ValueError):
+            z_encode(-1, 0, 2)
+
+    def test_bad_depth_raises(self):
+        with pytest.raises(ValueError):
+            z_encode(0, 0, 0)
+        with pytest.raises(ValueError):
+            z_decode(0, 0)
+        with pytest.raises(ValueError):
+            z_encode(0, 0, 17)
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            z_decode(16, 2)  # depth 2 codes live in [0, 16)
+
+
+class TestHierarchy:
+    def test_parent_is_shift(self):
+        z = z_encode(13, 7, 4)
+        px, py = z_decode(z_parent(z), 3)
+        assert (px, py) == (13 // 2, 7 // 2)
+
+    def test_children_cover_parent(self):
+        z = z_encode(2, 3, 3)
+        kids = z_children(z)
+        assert len(kids) == 4
+        for kid in kids:
+            assert z_parent(kid) == z
+        # Children decode to the 2x2 block at doubled coordinates.
+        coords = sorted(z_decode(k, 4) for k in kids)
+        assert coords == [(4, 6), (4, 7), (5, 6), (5, 7)]
+
+    def test_parent_child_consistency_random(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(200):
+            depth = rng.randint(2, 10)
+            cx = rng.randrange(1 << depth)
+            cy = rng.randrange(1 << depth)
+            z = z_encode(cx, cy, depth)
+            assert z_decode(z_parent(z), depth - 1) == (cx >> 1, cy >> 1)

@@ -1,0 +1,63 @@
+"""Unit tests for the IR-tree (R-tree + per-node inverted activity files)."""
+
+import random
+
+import pytest
+
+from repro.index.irtree import IRTree
+
+
+def _items(n, seed=0, n_acts=6):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        acts = frozenset(rng.sample(range(n_acts), rng.randint(0, 3)))
+        out.append((rng.uniform(0, 50), rng.uniform(0, 50), i, acts))
+    return out
+
+
+class TestAnnotation:
+    def test_root_union_is_total_union(self):
+        items = _items(200, seed=1)
+        tree = IRTree.bulk_load(items, max_entries=8)
+        want = frozenset().union(*(acts for _x, _y, _p, acts in items))
+        assert tree.root.activities == want
+
+    def test_node_unions_cover_children(self):
+        tree = IRTree.bulk_load(_items(300, seed=2), max_entries=8)
+
+        def walk(node):
+            if node.is_leaf:
+                for entry in node.children:
+                    assert IRTree.entry_activities(entry) <= node.activities
+            else:
+                for child in node.children:
+                    assert child.activities <= node.activities
+                    walk(child)
+
+        walk(tree.root)
+
+    def test_payload_accessors(self):
+        tree = IRTree.bulk_load([(1.0, 2.0, "traj7", frozenset({3}))])
+        entry = tree.root.children[0]
+        assert IRTree.entry_payload(entry) == "traj7"
+        assert IRTree.entry_activities(entry) == frozenset({3})
+
+
+class TestPruningCheck:
+    def test_node_has_any(self):
+        tree = IRTree.bulk_load(_items(100, seed=3))
+        present = next(iter(tree.root.activities))
+        assert IRTree.node_has_any(tree.root, [present])
+        assert not IRTree.node_has_any(tree.root, [999])
+        assert IRTree.node_has_any(tree.root, [999, present])
+
+    def test_unannotated_node_never_pruned(self):
+        from repro.index.rtree import RTreeNode
+
+        node = RTreeNode(is_leaf=True)
+        assert IRTree.node_has_any(node, [1])
+
+    def test_size_delegates(self):
+        tree = IRTree.bulk_load(_items(42, seed=4))
+        assert tree.size == 42

@@ -1,0 +1,127 @@
+"""Unit tests for the from-scratch R-tree."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.primitives import Rect
+from repro.index.rtree import RTree
+
+
+def _points(n, seed=0, extent=100.0):
+    rng = random.Random(seed)
+    return [(rng.uniform(0, extent), rng.uniform(0, extent), i) for i in range(n)]
+
+
+def _brute_range(points, rect):
+    return {
+        payload
+        for x, y, payload in points
+        if rect.min_x <= x <= rect.max_x and rect.min_y <= y <= rect.max_y
+    }
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree.bulk_load([])
+        assert tree.size == 0
+        assert tree.range_search(Rect(0, 0, 1, 1)) == []
+
+    def test_single_point(self):
+        tree = RTree.bulk_load([(5.0, 5.0, "p")])
+        assert tree.size == 1
+        assert [e.payload for e in tree.range_search(Rect(4, 4, 6, 6))] == ["p"]
+
+    def test_all_entries_present(self):
+        pts = _points(500)
+        tree = RTree.bulk_load(pts, max_entries=16)
+        assert tree.size == 500
+        assert sorted(e.payload for e in tree.iter_entries()) == list(range(500))
+
+    def test_invariants(self):
+        tree = RTree.bulk_load(_points(300, seed=3), max_entries=8)
+        tree.check_invariants()
+
+    def test_balanced_height(self):
+        tree = RTree.bulk_load(_points(1000, seed=1), max_entries=16)
+        # STR packs tightly: height ~ ceil(log16(1000/16)) + 1.
+        assert tree.height() <= 4
+
+    def test_range_search_matches_bruteforce(self):
+        pts = _points(400, seed=7)
+        tree = RTree.bulk_load(pts, max_entries=12)
+        rng = random.Random(8)
+        for _ in range(25):
+            x1, x2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            y1, y2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            rect = Rect(x1, y1, x2, y2)
+            got = {e.payload for e in tree.range_search(rect)}
+            assert got == _brute_range(pts, rect)
+
+
+class TestInsert:
+    def test_insert_then_search(self):
+        tree = RTree(max_entries=4)
+        pts = _points(120, seed=2)
+        for x, y, payload in pts:
+            tree.insert(x, y, payload)
+        assert tree.size == 120
+        rect = Rect(20, 20, 70, 70)
+        got = {e.payload for e in tree.range_search(rect)}
+        assert got == _brute_range(pts, rect)
+
+    def test_insert_preserves_invariants(self):
+        tree = RTree(max_entries=4)
+        for x, y, payload in _points(200, seed=5):
+            tree.insert(x, y, payload)
+        tree.check_invariants()
+
+    def test_root_split_grows_height(self):
+        tree = RTree(max_entries=2)
+        for x, y, payload in _points(30, seed=6):
+            tree.insert(x, y, payload)
+        assert tree.height() >= 3
+        tree.check_invariants()
+
+    def test_duplicate_coordinates_ok(self):
+        tree = RTree(max_entries=4)
+        for i in range(20):
+            tree.insert(1.0, 1.0, i)
+        got = {e.payload for e in tree.range_search(Rect(1, 1, 1, 1))}
+        assert got == set(range(20))
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)  # > M/2
+
+
+class TestNodeGeometry:
+    def test_min_dist_zero_inside_root(self):
+        tree = RTree.bulk_load(_points(50, seed=9))
+        assert tree.root.min_dist((50.0, 50.0)) == 0.0
+
+    def test_min_dist_monotone_down_the_tree(self):
+        """MINDIST of a child is >= MINDIST of its parent: required for
+        best-first search correctness."""
+        tree = RTree.bulk_load(_points(400, seed=10), max_entries=8)
+        q = (-10.0, -10.0)
+
+        def walk(node):
+            if node.is_leaf:
+                for e in node.children:
+                    d = math.hypot(q[0] - e.x, q[1] - e.y)
+                    assert d >= node.min_dist(q) - 1e-9
+            else:
+                for child in node.children:
+                    assert child.min_dist(q) >= node.min_dist(q) - 1e-9
+                    walk(child)
+
+        walk(tree.root)
+
+    def test_node_count_reasonable(self):
+        tree = RTree.bulk_load(_points(256, seed=11), max_entries=16)
+        # At least ceil(256/16) leaves plus internal nodes, far fewer than entries.
+        assert 17 <= tree.node_count() <= 64

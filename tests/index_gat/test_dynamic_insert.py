@@ -1,0 +1,132 @@
+"""Tests for dynamic GAT insertion (extension).
+
+The gold standard: after inserting trajectories one by one, every query
+must return exactly what a freshly built index over the final database
+returns.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import GATSearchEngine
+from repro.core.query import Query, QueryPoint
+from repro.data.generator import CheckInGenerator, GeneratorConfig
+from repro.index.gat.index import GATConfig, GATIndex
+from repro.model.database import TrajectoryDatabase
+from repro.model.point import TrajectoryPoint
+from repro.model.trajectory import ActivityTrajectory
+
+
+def _make_db(seed, n_users=60):
+    return CheckInGenerator(
+        GeneratorConfig(
+            n_users=n_users,
+            n_venues=150,
+            vocabulary_size=80,
+            width_km=10.0,
+            height_km=8.0,
+            checkins_per_user_mean=7.0,
+            seed=seed,
+        )
+    ).generate()
+
+
+def _query(db, seed):
+    rng = random.Random(seed)
+    while True:
+        tr = db.trajectories[rng.randrange(len(db))]
+        pts = [p for p in tr if p.activities]
+        if len(pts) >= 2:
+            return Query(
+                [
+                    QueryPoint(p.x, p.y, frozenset(rng.sample(sorted(p.activities), 1)))
+                    for p in rng.sample(pts, 2)
+                ]
+            )
+
+
+class TestInsertTrajectory:
+    def test_insert_equals_rebuild(self):
+        full = _make_db(21)
+        # Start the incremental index from the first 40 trajectories...
+        base = TrajectoryDatabase(
+            full.trajectories[:40], full.vocabulary, name="base"
+        )
+        config = GATConfig(depth=4, memory_levels=3)
+        incremental = GATIndex.build(base, config)
+        # ...but force the grid to cover the final universe (the documented
+        # insertion constraint).
+        incremental.grid = __import__(
+            "repro.geometry.grid", fromlist=["HierarchicalGrid"]
+        ).HierarchicalGrid(full.bounding_box, config.depth)
+        # Rebuild the spatial components over the corrected grid.
+        from repro.index.gat.hicl import HICL
+        from repro.index.gat.itl import ITL
+
+        incremental.hicl = HICL.build(base, incremental.grid, config.memory_levels, incremental.disk)
+        incremental.itl = ITL.build(base, incremental.grid)
+
+        for tr in full.trajectories[40:]:
+            incremental.insert_trajectory(tr)
+
+        fresh = GATIndex.build(full, config)
+        engine_inc = GATSearchEngine(incremental)
+        engine_fresh = GATSearchEngine(fresh)
+        for seed in range(6):
+            q = _query(full, seed)
+            a = [(r.trajectory_id, round(r.distance, 9)) for r in engine_inc.atsq(q, 5)]
+            b = [(r.trajectory_id, round(r.distance, 9)) for r in engine_fresh.atsq(q, 5)]
+            assert a == b
+
+    def test_duplicate_id_rejected(self, small_db):
+        index = GATIndex.build(small_db, GATConfig(depth=4, memory_levels=3))
+        with pytest.raises(ValueError):
+            index.insert_trajectory(small_db.trajectories[0])
+
+    def test_out_of_box_rejected(self, small_db):
+        index = GATIndex.build(small_db, GATConfig(depth=4, memory_levels=3))
+        far = ActivityTrajectory(
+            10_000, [TrajectoryPoint(1e6, 1e6, frozenset({0}))]
+        )
+        with pytest.raises(ValueError):
+            index.insert_trajectory(far)
+
+    def test_inserted_trajectory_is_findable(self, small_db):
+        import copy
+
+        db = TrajectoryDatabase(
+            list(small_db.trajectories), small_db.vocabulary, name="copy"
+        )
+        index = GATIndex.build(db, GATConfig(depth=4, memory_levels=3))
+        engine = GATSearchEngine(index)
+        box = db.bounding_box
+        cx = (box.min_x + box.max_x) / 2
+        cy = (box.min_y + box.max_y) / 2
+        rare = frozenset({len(db.vocabulary) - 1, len(db.vocabulary) - 2})
+        new_tr = ActivityTrajectory(
+            99_999,
+            [
+                TrajectoryPoint(cx, cy, rare),
+                TrajectoryPoint(cx + 0.1, cy + 0.1, frozenset({0})),
+            ],
+        )
+        index.insert_trajectory(new_tr)
+        q = Query([QueryPoint(cx, cy, rare)])
+        results = engine.atsq(q, 3)
+        assert any(r.trajectory_id == 99_999 for r in results)
+
+    def test_insert_updates_disk_components(self, small_db):
+        db = TrajectoryDatabase(
+            list(small_db.trajectories), small_db.vocabulary, name="copy2"
+        )
+        index = GATIndex.build(db, GATConfig(depth=5, memory_levels=3))
+        box = db.bounding_box
+        new_tr = ActivityTrajectory(
+            77_777,
+            [TrajectoryPoint((box.min_x + box.max_x) / 2, (box.min_y + box.max_y) / 2, frozenset({0}))],
+        )
+        index.insert_trajectory(new_tr)
+        assert 77_777 in index.apl
+        assert index.apl.fetch(77_777) == new_tr.posting_lists
+        assert index.sketches[77_777].covers(0)

@@ -1,0 +1,150 @@
+"""Unit tests for the Hierarchical Inverted Cell List (HICL)."""
+
+import pytest
+
+from repro.geometry.grid import HierarchicalGrid
+from repro.index.gat.hicl import HICL, memory_level_budget
+from repro.model.database import TrajectoryDatabase
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def db():
+    # Two trajectories in a unit-ish square with known activity placement.
+    return TrajectoryDatabase.from_raw(
+        [
+            [(1.0, 1.0, ["a"]), (9.0, 9.0, ["b"])],
+            [(1.2, 1.1, ["a", "b"]), (5.0, 5.0, [])],
+        ]
+    )
+
+
+@pytest.fixture
+def grid(db):
+    return HierarchicalGrid(db.bounding_box, depth=4)
+
+
+class TestBuild:
+    def test_all_in_memory(self, db, grid):
+        hicl = HICL.build(db, grid, memory_levels=4)
+        a = db.vocabulary.id_of("a")
+        cells = hicl.cells_with_activity(a, 4)
+        assert cells  # a exists somewhere at leaf level
+        # Both 'a' points are near (1,1): one or two leaf cells.
+        assert 1 <= len(cells) <= 2
+
+    def test_leaf_membership_matches_point_location(self, db, grid):
+        hicl = HICL.build(db, grid, memory_levels=4)
+        a = db.vocabulary.id_of("a")
+        leaf = grid.leaf_level.locate((1.0, 1.0))
+        assert leaf in hicl.cells_with_activity(a, 4)
+
+    def test_parent_aggregation(self, db, grid):
+        """A cell contains alpha at level L-1 iff one of its children does."""
+        hicl = HICL.build(db, grid, memory_levels=4)
+        for name in ("a", "b"):
+            act = db.vocabulary.id_of(name)
+            for level in range(1, 4):
+                parents = hicl.cells_with_activity(act, level)
+                children = hicl.cells_with_activity(act, level + 1)
+                assert parents == {code >> 2 for code in children}
+
+    def test_empty_activity_points_ignored(self, db, grid):
+        hicl = HICL.build(db, grid, memory_levels=4)
+        mid_leaf = grid.leaf_level.locate((5.0, 5.0))
+        a = db.vocabulary.id_of("a")
+        b = db.vocabulary.id_of("b")
+        assert mid_leaf not in hicl.cells_with_activity(a, 4)
+        assert mid_leaf not in hicl.cells_with_activity(b, 4)
+
+    def test_unknown_activity_empty(self, db, grid):
+        hicl = HICL.build(db, grid, memory_levels=4)
+        assert hicl.cells_with_activity(999, 4) == frozenset()
+
+    def test_level_bounds_checked(self, db, grid):
+        hicl = HICL.build(db, grid, memory_levels=4)
+        with pytest.raises(ValueError):
+            hicl.cells_with_activity(0, 0)
+        with pytest.raises(ValueError):
+            hicl.cells_with_activity(0, 5)
+
+
+class TestDiskResidence:
+    def test_requires_disk_for_low_levels(self, db, grid):
+        with pytest.raises(ValueError):
+            HICL(grid, memory_levels=2, disk=None)
+
+    def test_disk_levels_round_trip(self, db, grid):
+        disk = SimulatedDisk()
+        hicl = HICL.build(db, grid, memory_levels=2, disk=disk)
+        full = HICL.build(db, grid, memory_levels=4)
+        for name in ("a", "b"):
+            act = db.vocabulary.id_of(name)
+            for level in (3, 4):
+                assert hicl.cells_with_activity(act, level) == full.cells_with_activity(
+                    act, level
+                )
+
+    def test_disk_reads_counted_once_per_query_with_cache(self, db, grid):
+        disk = SimulatedDisk()
+        hicl = HICL.build(db, grid, memory_levels=2, disk=disk)
+        disk.reset_stats()
+        a = db.vocabulary.id_of("a")
+        hicl.cells_with_activity(a, 4)
+        hicl.cells_with_activity(a, 4)
+        hicl.cells_with_activity(a, 4)
+        assert disk.stats.reads == 1  # cached after the first read
+        hicl.clear_cache()
+        hicl.cells_with_activity(a, 4)
+        assert disk.stats.reads == 2
+
+    def test_memory_levels_do_not_touch_disk(self, db, grid):
+        disk = SimulatedDisk()
+        hicl = HICL.build(db, grid, memory_levels=2, disk=disk)
+        disk.reset_stats()
+        hicl.cells_with_activity(db.vocabulary.id_of("a"), 1)
+        hicl.cells_with_activity(db.vocabulary.id_of("a"), 2)
+        assert disk.stats.reads == 0
+
+
+class TestQueries:
+    def test_cells_with_any_unions(self, db, grid):
+        hicl = HICL.build(db, grid, memory_levels=4)
+        a, b = db.vocabulary.id_of("a"), db.vocabulary.id_of("b")
+        union = hicl.cells_with_any([a, b], 4)
+        assert union == hicl.cells_with_activity(a, 4) | hicl.cells_with_activity(b, 4)
+
+    def test_cell_activity_overlap(self, db, grid):
+        hicl = HICL.build(db, grid, memory_levels=4)
+        a, b = db.vocabulary.id_of("a"), db.vocabulary.id_of("b")
+        leaf = grid.leaf_level.locate((1.2, 1.1))  # has a and b via Tr2
+        overlap = hicl.cell_activity_overlap(leaf, [a, b, 999], 4)
+        assert overlap == frozenset({a, b})
+
+    def test_children_with_any_filters(self, db, grid):
+        hicl = HICL.build(db, grid, memory_levels=4)
+        a = db.vocabulary.id_of("a")
+        # Walk from the level-1 cell containing (1,1) down: every level must
+        # offer at least one child containing 'a'.
+        cell = grid.locate((1.0, 1.0), 1)
+        code, level = cell.code, cell.level
+        while level < 4:
+            kids = hicl.children_with_any(code, level, [a])
+            assert kids
+            code, level = kids[0], level + 1
+
+    def test_cell_has_any(self, db, grid):
+        hicl = HICL.build(db, grid, memory_levels=4)
+        a = db.vocabulary.id_of("a")
+        leaf = grid.leaf_level.locate((1.0, 1.0))
+        assert hicl.cell_has_any(leaf, [a], 4)
+        assert not hicl.cell_has_any(leaf, [999], 4)
+
+
+def test_memory_level_budget_formula():
+    # h = log4(3B/(4C) + 1): with B = 4^1*C*...  check monotonicity + exact point.
+    assert memory_level_budget(4 * 100, 100) == 1  # exactly level 1 fits
+    assert memory_level_budget((4 + 16) * 100, 100) == 2
+    assert memory_level_budget(10, 1_000_000) == 0
+    with pytest.raises(ValueError):
+        memory_level_budget(0, 10)

@@ -1,0 +1,74 @@
+"""Unit tests for the distance metrics."""
+
+import math
+
+import pytest
+
+from repro.model.distance import (
+    EuclideanDistance,
+    HaversineDistance,
+    MatrixDistance,
+    project_lonlat_to_km,
+)
+
+
+class TestEuclidean:
+    def test_pythagoras(self):
+        assert EuclideanDistance()((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_symmetry_and_identity(self):
+        d = EuclideanDistance()
+        assert d((1, 2), (4, 6)) == d((4, 6), (1, 2))
+        assert d((1, 2), (1, 2)) == 0.0
+
+
+class TestHaversine:
+    def test_equator_degree(self):
+        # One degree of longitude at the equator ~ 111.19 km.
+        d = HaversineDistance()((0.0, 0.0), (1.0, 0.0))
+        assert d == pytest.approx(111.19, abs=0.2)
+
+    def test_known_city_pair(self):
+        # LA (-118.24, 34.05) to NY (-74.01, 40.71) ~ 3936 km.
+        d = HaversineDistance()((-118.24, 34.05), (-74.01, 40.71))
+        assert d == pytest.approx(3936, rel=0.01)
+
+    def test_symmetry(self):
+        d = HaversineDistance()
+        a, b = (-118.0, 34.0), (-117.5, 34.2)
+        assert d(a, b) == pytest.approx(d(b, a))
+
+    def test_zero_distance(self):
+        assert HaversineDistance()((10.0, 20.0), (10.0, 20.0)) == 0.0
+
+
+class TestMatrixDistance:
+    def test_lookup_both_orders(self):
+        m = MatrixDistance({((0.0, 0.0), (1.0, 1.0)): 7.0})
+        assert m((0.0, 0.0), (1.0, 1.0)) == 7.0
+        assert m((1.0, 1.0), (0.0, 0.0)) == 7.0
+
+    def test_missing_pair_raises(self):
+        m = MatrixDistance({})
+        with pytest.raises(KeyError):
+            m((0.0, 0.0), (1.0, 1.0))
+
+
+class TestProjection:
+    def test_empty(self):
+        assert project_lonlat_to_km([]) == ()
+
+    def test_distances_close_to_haversine_at_city_scale(self):
+        pts = [(-118.24, 34.05), (-118.30, 34.10), (-118.10, 33.95)]
+        proj = project_lonlat_to_km(pts)
+        hav = HaversineDistance()
+        eu = EuclideanDistance()
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                d_true = hav(pts[i], pts[j])
+                d_proj = eu(proj[i], proj[j])
+                assert d_proj == pytest.approx(d_true, rel=0.01)
+
+    def test_explicit_reference_origin(self):
+        proj = project_lonlat_to_km([(10.0, 50.0)], ref=(10.0, 50.0))
+        assert proj[0] == pytest.approx((0.0, 0.0))

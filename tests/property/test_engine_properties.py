@@ -1,0 +1,104 @@
+"""Property-style tests of whole-engine invariants on the tiny database.
+
+These are seeded-random rather than hypothesis-driven because each case
+needs an indexed database (expensive to rebuild per example); the query
+space is fuzzed instead.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.engine import GATSearchEngine
+from repro.core.evaluator import MatchEvaluator
+from repro.core.query import Query, QueryPoint
+from repro.index.gat.index import GATConfig, GATIndex
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_db):
+    return GATSearchEngine(GATIndex.build(tiny_db, GATConfig(depth=5, memory_levels=4)))
+
+
+def _fuzz_query(db, rng):
+    """Queries both anchored in the data and fully random (possibly with no
+    match at all)."""
+    if rng.random() < 0.7:
+        while True:
+            tr = db.trajectories[rng.randrange(len(db))]
+            pts = [p for p in tr if p.activities]
+            if pts:
+                nq = min(len(pts), rng.randint(1, 3))
+                qps = [
+                    QueryPoint(
+                        p.x, p.y, frozenset(rng.sample(sorted(p.activities), 1))
+                    )
+                    for p in rng.sample(pts, nq)
+                ]
+                return Query(qps)
+    box = db.bounding_box
+    nq = rng.randint(1, 3)
+    return Query(
+        [
+            QueryPoint(
+                rng.uniform(box.min_x, box.max_x),
+                rng.uniform(box.min_y, box.max_y),
+                frozenset(rng.sample(range(len(db.vocabulary)), rng.randint(1, 3))),
+            )
+            for _ in range(nq)
+        ]
+    )
+
+
+def test_topk_always_matches_bruteforce(engine, tiny_db):
+    ev = MatchEvaluator()
+    rng = random.Random(1)
+    for _ in range(25):
+        q = _fuzz_query(tiny_db, rng)
+        k = rng.randint(1, 8)
+        brute = sorted(
+            d
+            for d in (ev.dmm(q, tr) for tr in tiny_db)
+            if not math.isinf(d)
+        )[:k]
+        got = [r.distance for r in engine.atsq(q, k)]
+        assert got == pytest.approx(brute)
+
+
+def test_every_result_is_a_full_match(engine, tiny_db):
+    rng = random.Random(2)
+    for _ in range(15):
+        q = _fuzz_query(tiny_db, rng)
+        for r in engine.atsq(q, 5):
+            tr = tiny_db.get(r.trajectory_id)
+            assert q.all_activities <= tr.activity_union
+
+
+def test_results_monotone_in_k(engine, tiny_db):
+    """Top-(k) must be a prefix of top-(k+5) distances."""
+    rng = random.Random(3)
+    for _ in range(10):
+        q = _fuzz_query(tiny_db, rng)
+        small = [r.distance for r in engine.atsq(q, 3)]
+        large = [r.distance for r in engine.atsq(q, 8)]
+        assert large[: len(small)] == pytest.approx(small)
+
+
+def test_oatsq_results_have_order_matches(engine, tiny_db):
+    rng = random.Random(4)
+    ev = MatchEvaluator()
+    for _ in range(10):
+        q = _fuzz_query(tiny_db, rng)
+        for r in engine.oatsq(q, 4):
+            d = ev.dmom(q, tiny_db.get(r.trajectory_id))
+            assert d == pytest.approx(r.distance)
+
+
+def test_no_match_queries_return_empty(engine, tiny_db):
+    """A query demanding an activity no trajectory has yields no results
+    (and must terminate)."""
+    ghost = len(tiny_db.vocabulary) + 5
+    q = Query([QueryPoint(0.0, 0.0, frozenset({ghost}))])
+    assert engine.atsq(q, 5) == []
+    assert engine.oatsq(q, 5) == []

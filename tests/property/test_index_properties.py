@@ -1,0 +1,122 @@
+"""Property-based tests for the index substrates."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.primitives import BoundingBox, Rect
+from repro.geometry.zcurve import z_decode, z_encode, z_parent
+from repro.index.gat.tas import TrajectorySketch, optimal_intervals
+from repro.index.rtree import RTree
+
+
+class TestZCurveProperties:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, depth, rng):
+        cx = rng.randrange(1 << depth)
+        cy = rng.randrange(1 << depth)
+        assert z_decode(z_encode(cx, cy, depth), depth) == (cx, cy)
+
+    @given(st.integers(min_value=2, max_value=10), st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_parent_halves_coordinates(self, depth, rng):
+        cx = rng.randrange(1 << depth)
+        cy = rng.randrange(1 << depth)
+        z = z_encode(cx, cy, depth)
+        assert z_decode(z_parent(z), depth - 1) == (cx >> 1, cy >> 1)
+
+
+class TestRectProperties:
+    rect_st = st.tuples(
+        st.floats(-100, 100), st.floats(-100, 100), st.floats(0, 50), st.floats(0, 50)
+    ).map(lambda t: Rect(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+    point_st = st.tuples(st.floats(-150, 150), st.floats(-150, 150))
+
+    @given(rect_st, rect_st)
+    @settings(max_examples=200, deadline=None)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rect_st, point_st)
+    @settings(max_examples=200, deadline=None)
+    def test_min_dist_zero_iff_contained(self, r, p):
+        if r.contains_point(p):
+            assert r.min_dist(p) == 0.0
+        else:
+            assert r.min_dist(p) > 0.0
+
+    @given(rect_st, rect_st, point_st)
+    @settings(max_examples=200, deadline=None)
+    def test_min_dist_monotone_in_containment(self, a, b, p):
+        u = a.union(b)
+        assert u.min_dist(p) <= a.min_dist(p) + 1e-12
+
+
+class TestTASProperties:
+    ids_st = st.frozensets(st.integers(min_value=0, max_value=300), min_size=1, max_size=25)
+
+    @given(ids_st, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=200, deadline=None)
+    def test_no_false_dismissals(self, ids, m):
+        sketch = TrajectorySketch.from_activities(ids, m)
+        assert sketch.covers_all(ids)
+
+    @given(ids_st, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=200, deadline=None)
+    def test_intervals_sorted_and_disjoint(self, ids, m):
+        intervals = optimal_intervals(sorted(ids), m)
+        assert len(intervals) <= m
+        for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+            assert lo1 <= hi1 < lo2 <= hi2
+
+    @given(ids_st)
+    @settings(max_examples=100, deadline=None)
+    def test_span_decreases_with_m(self, ids):
+        spans = [
+            TrajectorySketch.from_activities(ids, m).total_span() for m in (1, 2, 4)
+        ]
+        assert spans[0] >= spans[1] >= spans[2]
+
+
+class TestRTreeProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_load_range_search_exact(self, coords, rng):
+        items = [(x, y, i) for i, (x, y) in enumerate(coords)]
+        tree = RTree.bulk_load(items, max_entries=4)
+        tree.check_invariants()
+        x1, x2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+        y1, y2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+        rect = Rect(x1, y1, x2, y2)
+        got = {e.payload for e in tree.range_search(rect)}
+        want = {i for x, y, i in items if rect.contains_point((x, y))}
+        assert got == want
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_insert_preserves_entries_and_invariants(self, coords):
+        tree = RTree(max_entries=4)
+        for i, (x, y) in enumerate(coords):
+            tree.insert(x, y, i)
+        tree.check_invariants()
+        assert sorted(e.payload for e in tree.iter_entries()) == list(
+            range(len(coords))
+        )

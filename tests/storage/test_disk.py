@@ -1,0 +1,103 @@
+"""Unit tests for the simulated disk."""
+
+import pytest
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.serialization import deserialize_obj, serialize_obj
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        obj = {"a": (1, 2, 3), "b": frozenset({4, 5})}
+        assert deserialize_obj(serialize_obj(obj)) == obj
+
+
+class TestStoreLoad:
+    def test_put_get_roundtrip(self):
+        disk = SimulatedDisk()
+        disk.put("k", [1, 2, 3])
+        assert disk.get("k") == [1, 2, 3]
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            SimulatedDisk().get("nope")
+
+    def test_get_or_none(self):
+        disk = SimulatedDisk()
+        assert disk.get_or_none("nope") is None
+        disk.put("k", 7)
+        assert disk.get_or_none("k") == 7
+
+    def test_contains_len_keys(self):
+        disk = SimulatedDisk()
+        disk.put("a", 1)
+        disk.put("b", 2)
+        assert "a" in disk and "c" not in disk
+        assert len(disk) == 2
+        assert set(disk.keys()) == {"a", "b"}
+
+    def test_overwrite_replaces(self):
+        disk = SimulatedDisk()
+        disk.put("k", 1)
+        disk.put("k", 2)
+        assert disk.get("k") == 2
+        assert len(disk) == 1
+
+
+class TestAccounting:
+    def test_page_rounding_minimum_one(self):
+        disk = SimulatedDisk(page_size=4096)
+        pages = disk.put("small", 1)
+        assert pages == 1
+
+    def test_page_rounding_large_object(self):
+        disk = SimulatedDisk(page_size=100)
+        payload = list(range(1000))  # serialises to well over 100 bytes
+        pages = disk.put("big", payload)
+        assert pages > 1
+        assert pages == disk.total_pages()
+
+    def test_read_counters(self):
+        disk = SimulatedDisk(page_size=64)
+        disk.put("k", list(range(100)))
+        before = disk.stats.snapshot()
+        disk.get("k")
+        disk.get("k")
+        delta = disk.stats.delta(before)
+        assert delta.reads == 2
+        assert delta.pages_read == 2 * disk.total_pages()
+        assert delta.bytes_read > 0
+
+    def test_miss_counts_as_read_with_zero_pages(self):
+        disk = SimulatedDisk()
+        before = disk.stats.snapshot()
+        disk.get_or_none("missing")
+        delta = disk.stats.delta(before)
+        assert delta.reads == 1
+        assert delta.pages_read == 0
+
+    def test_reset_stats(self):
+        disk = SimulatedDisk()
+        disk.put("k", 1)
+        disk.get("k")
+        disk.reset_stats()
+        assert disk.stats.reads == 0
+        assert disk.stats.writes == 0
+
+    def test_snapshot_is_independent(self):
+        disk = SimulatedDisk()
+        disk.put("k", 1)
+        snap = disk.stats.snapshot()
+        disk.get("k")
+        assert snap.reads == 0
+        assert disk.stats.reads == 1
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(page_size=0)
+
+    def test_total_bytes_tracks_store(self):
+        disk = SimulatedDisk()
+        assert disk.total_bytes() == 0
+        disk.put("k", "x" * 1000)
+        assert disk.total_bytes() > 1000

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.loader import load_database_jsonl
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "db.jsonl"
+    code = main(
+        [
+            "generate",
+            "--users", "60",
+            "--venues", "150",
+            "--vocabulary", "80",
+            "--seed", "3",
+            "-o", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_custom_generation(self, dataset_path):
+        db = load_database_jsonl(dataset_path)
+        assert len(db) == 60
+
+    def test_preset_generation(self, tmp_path, capsys):
+        out = tmp_path / "la.jsonl"
+        code = main(["generate", "--preset", "la", "--scale", "0.002", "-o", str(out)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_missing_parameters_rejected(self, tmp_path):
+        code = main(["generate", "-o", str(tmp_path / "x.jsonl")])
+        assert code == 2
+
+
+class TestStats:
+    def test_prints_table4(self, dataset_path, capsys):
+        assert main(["stats", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "#trajectory" in out
+        assert "60" in out
+
+
+class TestQuery:
+    def test_atsq(self, dataset_path, capsys):
+        code = main(
+            [
+                "query", str(dataset_path),
+                "--k", "3",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-3 (Dmm)" in out
+        assert "work:" in out
+
+    def test_oatsq_with_explain(self, dataset_path, capsys):
+        code = main(
+            [
+                "query", str(dataset_path),
+                "--k", "2",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+                "--order-sensitive",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Dmom" in out
+
+
+class TestSweep:
+    def test_k_sweep(self, dataset_path, capsys):
+        code = main(
+            ["sweep", str(dataset_path), "--figure", "k", "--queries", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "effect of k" in out
+        assert "GAT" in out and "IL" in out
+
+    def test_bad_figure_rejected(self, dataset_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(dataset_path), "--figure", "nope"])

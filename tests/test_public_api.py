@@ -1,0 +1,83 @@
+"""The public API surface: everything the README advertises must import
+and every ``__all__`` name must resolve."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.geometry",
+    "repro.model",
+    "repro.storage",
+    "repro.data",
+    "repro.index",
+    "repro.index.gat",
+    "repro.core",
+    "repro.baselines",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} in __all__ but missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_readme_quickstart_runs():
+    """The exact code block from the README."""
+    from repro import TrajectoryDatabase, GATIndex, GATConfig, GATSearchEngine, Query
+
+    db = TrajectoryDatabase.from_raw(
+        [
+            [(1.0, 1.0, ["brunch", "coffee"]), (2.0, 1.8, ["jazz"])],
+            [(1.1, 0.9, ["brunch"]), (2.1, 1.9, ["cocktails", "jazz"])],
+        ]
+    )
+    engine = GATSearchEngine(GATIndex.build(db, GATConfig(depth=4, memory_levels=3)))
+    query = Query.from_named(
+        db.vocabulary,
+        [
+            (1.0, 1.0, ["brunch"]),
+            (2.0, 1.9, ["jazz"]),
+        ],
+    )
+    results = engine.atsq(query, k=2, explain=True)
+    assert len(results) == 2
+    assert results[0].distance <= results[1].distance
+    assert all(r.matches is not None for r in results)
+
+
+def test_docstring_quickstart_runs():
+    """The doctest-style example in repro/__init__.py."""
+    from repro import GATIndex, GATSearchEngine, Query, dataset_from_preset
+
+    db = dataset_from_preset("la", scale=0.002)
+    engine = GATSearchEngine(GATIndex.build(db))
+    some_tr = db.trajectories[0]
+    q = Query.from_named(
+        db.vocabulary,
+        [
+            (
+                some_tr[0].x,
+                some_tr[0].y,
+                [db.vocabulary.name_of(next(iter(some_tr.activity_union)))],
+            ),
+        ],
+    )
+    results = engine.atsq(q, k=3)
+    assert results  # the anchor itself must match
