@@ -30,6 +30,11 @@ def gat_index(la_db):
 
 
 def _run_all(engine, queries, order_sensitive=False):
+    # Cold caches: the shared HICL LRU (and the engine APL cache, which
+    # callers disable) would otherwise let the first variant absorb all
+    # the cold disk reads and warm the cache for every later one, making
+    # the per-variant I/O column order-dependent.
+    engine.index.hicl.clear_cache()
     t0 = time.perf_counter()
     retrieved = 0
     disk_reads = 0
@@ -69,7 +74,7 @@ def _sweep_variants(rows, gat_index, la_queries):
         ("loose lower bound", {"use_tight_lower_bound": False}),
         ("neither", {"use_tas": False, "use_tight_lower_bound": False}),
     ):
-        engine = GATSearchEngine(gat_index, **kwargs)
+        engine = GATSearchEngine(gat_index, apl_cache_size=0, **kwargs)
         secs, cands, reads = _run_all(engine, la_queries)
         rows.append([label, f"{secs:.4f}", str(cands), str(reads)])
 
@@ -77,8 +82,8 @@ def _sweep_variants(rows, gat_index, la_queries):
 @pytest.mark.benchmark(group="ablation-tas-disk")
 def test_tas_reduces_disk_reads(benchmark, gat_index, la_queries):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    with_tas = GATSearchEngine(gat_index, use_tas=True)
-    without = GATSearchEngine(gat_index, use_tas=False)
+    with_tas = GATSearchEngine(gat_index, use_tas=True, apl_cache_size=0)
+    without = GATSearchEngine(gat_index, use_tas=False, apl_cache_size=0)
     _s, _c, reads_with = _run_all(with_tas, la_queries)
     _s, _c, reads_without = _run_all(without, la_queries)
     assert reads_with <= reads_without
@@ -104,7 +109,7 @@ def test_print_lambda_sweep(benchmark, gat_index, la_queries):
 
 def _lambda_sweep(rows, gat_index, la_queries):
     for lam in (8, 32, 128, 512):
-        engine = GATSearchEngine(gat_index, retrieval_batch=lam)
+        engine = GATSearchEngine(gat_index, retrieval_batch=lam, apl_cache_size=0)
         secs, cands, _reads = _run_all(engine, la_queries)
         rows.append([str(lam), f"{secs:.4f}", str(cands)])
 
@@ -155,9 +160,10 @@ def _dmom_sweep(rows, la_db, la_queries, ev, inv):
 @pytest.mark.benchmark(group="ablation-lambda")
 @pytest.mark.parametrize("lam", [8, 128])
 def test_lambda_benchmark(benchmark, gat_index, la_queries, lam):
-    engine = GATSearchEngine(gat_index, retrieval_batch=lam)
+    engine = GATSearchEngine(gat_index, retrieval_batch=lam, apl_cache_size=0)
 
     def run():
+        engine.index.hicl.clear_cache()  # cold caches for both params
         for q in la_queries:
             engine.atsq(q, DEFAULT_K)
 

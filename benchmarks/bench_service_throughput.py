@@ -1,0 +1,116 @@
+"""Service throughput — batched QueryService vs a sequential query loop.
+
+Not a paper figure: this benchmarks the serving layer the reproduction
+grows beyond the paper.  Two engines are built over the *same* dataset on
+separate simulated disks carrying a realistic per-read latency (the paper
+stores APL and the low HICL levels on hard disk; a zero-latency simulation
+would leave nothing for concurrency to overlap).  Both start cold:
+
+* **sequential** — one `engine.atsq/oatsq` loop, cache-less (the seed
+  engine's per-query behaviour: every APL fetch and disk-resident cell
+  list is a counted, latency-bearing read);
+* **batched** — a `QueryService` fan-out over one shared engine with the
+  warm LRU caches on.
+
+The speedup therefore measures what the service layer actually ships:
+thread-pooled latency overlap *plus* cross-query cache reuse.  The
+acceptance bar is >1.5× at 8 workers.
+"""
+
+import pytest
+
+from repro.core.engine import GATSearchEngine
+from repro.index.gat.index import GATIndex
+from repro.service import QueryRequest, QueryService
+from repro.storage.disk import SimulatedDisk
+
+from conftest import bench_gat_config
+
+#: Per-read latency of the simulated disk.  1 ms is a mid-range random
+#: 4K page read on spinning metal (the paper's setting); keeping I/O
+#: dominant also makes the speedup assertion robust on slow CI runners,
+#: where pure-Python compute (which the GIL serialises) stretches but
+#: sleeps don't.
+READ_LATENCY_S = 1e-3
+N_QUERIES = 48
+K = 9
+WORKERS = 8
+
+
+def _requests(queries):
+    return [
+        QueryRequest(q, k=K, order_sensitive=(i % 2 == 1))
+        for i, q in enumerate(queries)
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload(la_queries):
+    queries = (la_queries * ((N_QUERIES // len(la_queries)) + 1))[:N_QUERIES]
+    return _requests(queries)
+
+
+def _build_engine(db, apl_cache_size):
+    disk = SimulatedDisk(read_latency_s=READ_LATENCY_S)
+    index = GATIndex.build(db, bench_gat_config(), disk=disk)
+    return GATSearchEngine(index, apl_cache_size=apl_cache_size)
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_batched_vs_sequential_throughput(benchmark, la_db, workload):
+    import time
+
+    seq_engine = _build_engine(la_db, apl_cache_size=0)
+    svc_engine = _build_engine(la_db, apl_cache_size=2048)
+    service = QueryService(svc_engine, max_workers=WORKERS)
+    report = {}
+
+    def run():
+        t0 = time.perf_counter()
+        for req in workload:
+            # Cold caches per query = the seed engine's behaviour (it
+            # cleared the HICL cache at the start of every search).
+            seq_engine.index.hicl.clear_cache()
+            run_one = seq_engine.oatsq if req.order_sensitive else seq_engine.atsq
+            run_one(req.query, req.k)
+        report["seq_s"] = time.perf_counter() - t0
+
+        service.reset_stats()
+        t0 = time.perf_counter()
+        responses = service.search_many(workload)
+        report["batch_s"] = time.perf_counter() - t0
+        report["responses"] = responses
+        report["stats"] = service.stats()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    seq_s, batch_s = report["seq_s"], report["batch_s"]
+    stats = report["stats"]
+    seq_qps = N_QUERIES / seq_s
+    speedup = seq_s / batch_s
+    print(f"\nservice throughput ({N_QUERIES} mixed ATSQ/OATSQ, k={K}, "
+          f"{WORKERS} workers, {READ_LATENCY_S * 1e6:.0f} µs/read):")
+    print(f"  sequential loop : {seq_s:.2f} s  ({seq_qps:.1f} QPS)")
+    print(f"  QueryService    : {batch_s:.2f} s  ({stats.qps:.1f} QPS, "
+          f"p50 {stats.latency_p50_s * 1000:.1f} ms, "
+          f"p95 {stats.latency_p95_s * 1000:.1f} ms)")
+    print(f"  caches          : HICL {stats.hicl_cache_hit_rate:.1%}, "
+          f"APL {stats.apl_cache_hit_rate:.1%} hit rate")
+    print(f"  speedup         : {speedup:.2f}x")
+    assert len(report["responses"]) == N_QUERIES
+    assert speedup > 1.5
+
+
+@pytest.mark.benchmark(group="service-throughput-workers")
+@pytest.mark.parametrize("workers", [1, 4, 8])
+def test_service_worker_scaling(benchmark, la_db, workload, workers):
+    engine = _build_engine(la_db, apl_cache_size=2048)
+    service = QueryService(engine, max_workers=workers)
+
+    def run():
+        service.search_many(workload)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = service.stats()
+    print(f"\n{workers} workers: {stats.qps:.1f} QPS, "
+          f"p95 {stats.latency_p95_s * 1000:.1f} ms")

@@ -10,13 +10,18 @@ The library implements activity-trajectory similarity search end to end:
   simulated two-tier memory/disk layout;
 * exact algorithms for the minimum match distance (Algorithm 3) and the
   minimum order-sensitive match distance (Algorithm 4);
-* the best-first search engine with the tight unseen-trajectory lower
-  bound (Algorithms 1-2), answering **ATSQ** and **OATSQ** top-k queries;
+* the best-first search engine — a **stateless staged pipeline**
+  (candidate retrieval → TAS/APL/MIB validation filters → scoring) with
+  the tight unseen-trajectory lower bound (Algorithms 1-2), answering
+  **ATSQ** and **OATSQ** top-k queries;
+* a concurrent **QueryService** that batches queries over one shared
+  engine with thread-pooled fan-out, shared LRU caches, and aggregate
+  serving statistics (QPS, latency percentiles, cache hit rates);
 * the paper's three baselines (IL, RT, IRT) over from-scratch inverted
   lists, an R-tree and an IR-tree.
 
-Quickstart
-----------
+Quickstart — single query
+-------------------------
 >>> from repro import dataset_from_preset, GATIndex, GATSearchEngine, Query
 >>> db = dataset_from_preset("la", scale=0.01)
 >>> engine = GATSearchEngine(GATIndex.build(db))
@@ -26,6 +31,17 @@ Quickstart
 ...      [db.vocabulary.name_of(next(iter(some_tr.activity_union)))]),
 ... ])
 >>> results = engine.atsq(q, k=3)
+
+Quickstart — batched serving
+----------------------------
+One engine serves many queries concurrently; responses come back in
+request order, bitwise-identical to a sequential loop:
+
+>>> from repro import QueryService
+>>> service = QueryService(engine, max_workers=8)
+>>> responses = service.search_many([q, q, q], k=3)
+>>> [r.results[0].trajectory_id for r in responses]  # doctest: +SKIP
+>>> service.stats().qps  # doctest: +SKIP
 """
 
 from repro.model import (
@@ -38,14 +54,17 @@ from repro.model import (
     MatrixDistance,
 )
 from repro.core import (
+    ExecutionContext,
     GATSearchEngine,
     MatchEvaluator,
     Query,
     QueryPoint,
     SearchResult,
+    SearchStats,
     minimum_point_match_distance,
     minimum_order_match_distance,
 )
+from repro.service import QueryRequest, QueryResponse, QueryService, ServiceStats
 from repro.index import GATIndex, InvertedIndex, IRTree, RTree
 from repro.index.gat.index import GATConfig
 from repro.baselines import InvertedListSearch, IRTreeSearch, RTreeSearch
@@ -70,6 +89,12 @@ __all__ = [
     "GATIndex",
     "GATConfig",
     "GATSearchEngine",
+    "SearchStats",
+    "ExecutionContext",
+    "QueryService",
+    "QueryRequest",
+    "QueryResponse",
+    "ServiceStats",
     "InvertedIndex",
     "RTree",
     "IRTree",

@@ -4,7 +4,9 @@ Four subcommands cover the library's end-to-end workflow:
 
 * ``generate`` — synthesise a dataset (preset or custom) to JSON-lines;
 * ``stats``    — print a dataset's Table IV statistics;
-* ``query``    — run one ATSQ/OATSQ against a dataset file;
+* ``query``    — run one ATSQ/OATSQ against a dataset file, or a whole
+  workload batch through the concurrent :class:`QueryService`
+  (``--batch N --workers W``);
 * ``sweep``    — run one of the paper's figure sweeps and print the table.
 
 Usage examples::
@@ -12,6 +14,7 @@ Usage examples::
     python -m repro.cli generate --preset la --scale 0.02 -o la.jsonl
     python -m repro.cli stats la.jsonl
     python -m repro.cli query la.jsonl --k 5 --order-sensitive --seed 3
+    python -m repro.cli query la.jsonl --k 5 --batch 50 --workers 8
     python -m repro.cli sweep la.jsonl --figure k
 """
 
@@ -37,6 +40,7 @@ from repro.data.loader import load_database_jsonl, save_database_jsonl
 from repro.data.presets import dataset_from_preset
 from repro.index.gat.index import GATConfig, GATIndex
 from repro.model.database import TrajectoryDatabase
+from repro.service import QueryRequest, QueryService
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -67,6 +71,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--seed", type=int, default=1)
     p_query.add_argument("--depth", type=int, default=6, help="GAT grid depth")
     p_query.add_argument("--explain", action="store_true", help="show matched points")
+    p_query.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        help="serve N workload queries through the QueryService instead of one",
+    )
+    p_query.add_argument(
+        "--workers", type=int, default=8, help="thread-pool width for --batch"
+    )
 
     p_sweep = sub.add_parser("sweep", help="run a paper figure sweep")
     p_sweep.add_argument("dataset", help=".jsonl dataset path")
@@ -113,6 +126,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    # Validate flags before the expensive load + index build.
+    if args.batch < 0:
+        print("--batch must be >= 0", file=sys.stderr)
+        return 2
+    if args.batch > 0 and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     db = load_database_jsonl(args.dataset)
     index = GATIndex.build(
         db, GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
@@ -126,6 +146,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             seed=args.seed,
         ),
     )
+    if args.batch > 0:
+        return _run_query_batch(engine, workload, args)
     query = workload.query()
     print("query:")
     for i, q in enumerate(query, start=1):
@@ -148,6 +170,38 @@ def _cmd_query(args: argparse.Namespace) -> int:
     stats = engine.stats
     print(f"\nwork: {stats.cells_popped} cells, {stats.candidates_retrieved} candidates, "
           f"{stats.tas_pruned} TAS-pruned, {stats.disk_reads} disk reads")
+    return 0
+
+
+def _run_query_batch(engine, workload, args: argparse.Namespace) -> int:
+    """Serve ``args.batch`` workload queries through the QueryService."""
+    requests = [
+        QueryRequest(
+            q, k=args.k, order_sensitive=args.order_sensitive, explain=args.explain
+        )
+        for q in workload.queries(args.batch)
+    ]
+    service = QueryService(engine, max_workers=args.workers)
+    responses = service.search_many(requests)
+    label = "Dmom" if args.order_sensitive else "Dmm"
+    print(f"batch of {len(responses)} queries ({label}, {args.workers} workers):")
+    for i, resp in enumerate(responses):
+        best = resp.results[0] if resp.results else None
+        head = (
+            f"trajectory {best.trajectory_id}  {label}={best.distance:.3f}"
+            if best
+            else "no match"
+        )
+        if args.explain and best is not None and best.matches is not None:
+            head += f"  matches={best.matches}"
+        print(f"  q{i + 1}: top-1 {head}  ({resp.latency_s * 1000:.1f} ms, "
+              f"{resp.stats.disk_reads} disk reads)")
+    stats = service.stats()
+    print(f"\nservice: {stats.qps:.1f} QPS, "
+          f"p50 {stats.latency_p50_s * 1000:.1f} ms, "
+          f"p95 {stats.latency_p95_s * 1000:.1f} ms, "
+          f"HICL cache hit rate {stats.hicl_cache_hit_rate:.1%}, "
+          f"APL cache hit rate {stats.apl_cache_hit_rate:.1%}")
     return 0
 
 

@@ -12,8 +12,12 @@ Contents map directly onto the paper's sections:
 * :mod:`repro.core.evaluator` — the shared candidate-scoring path used by
   GAT *and* all three baselines (Section VII-A notes all methods share the
   distance computations).
+* :mod:`repro.core.context` — per-query execution state
+  (:class:`SearchStats` counters + :class:`ExecutionContext`).
+* :mod:`repro.core.pipeline` — the staged pipeline: candidate retrieval,
+  the composable validation filter chain (TAS → APL → MIB), scoring.
 * :mod:`repro.core.engine` — the best-first search framework, Algorithm 1
-  (Section V), on top of the GAT index.
+  (Section V), assembling the pipeline stages over the GAT index.
 """
 
 from repro.core.query import Query, QueryPoint
@@ -29,7 +33,17 @@ from repro.core.order_match import (
 )
 from repro.core.evaluator import MatchEvaluator
 from repro.core.results import SearchResult, TopKCollector
-from repro.core.engine import GATSearchEngine, SearchStats
+from repro.core.context import ExecutionContext, SearchStats
+from repro.core.pipeline import (
+    APLFilter,
+    Candidate,
+    CandidateRetriever,
+    MIBFilter,
+    ScoringStage,
+    TASFilter,
+    ValidationStage,
+)
+from repro.core.engine import GATSearchEngine
 
 __all__ = [
     "Query",
@@ -45,4 +59,12 @@ __all__ = [
     "TopKCollector",
     "GATSearchEngine",
     "SearchStats",
+    "ExecutionContext",
+    "Candidate",
+    "CandidateRetriever",
+    "TASFilter",
+    "APLFilter",
+    "MIBFilter",
+    "ValidationStage",
+    "ScoringStage",
 ]

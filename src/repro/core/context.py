@@ -1,0 +1,82 @@
+"""Per-query execution state.
+
+The engine object itself holds only immutable configuration and index
+references; everything mutable that one query needs — work counters, the
+top-k collector, the evaluator with its own counters, and the running
+distance threshold — lives in an :class:`ExecutionContext` created per
+call.  That is what makes one engine safe to share between concurrent
+queries: two contexts never touch the same mutable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, dataclass, field, fields
+from typing import List, Optional
+
+from repro.core.evaluator import MatchEvaluator
+from repro.core.query import Query
+from repro.core.results import SearchResult, TopKCollector
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """Work counters for one query execution."""
+
+    rounds: int = 0
+    cells_popped: int = 0
+    leaf_cells_visited: int = 0
+    candidates_retrieved: int = 0
+    tas_pruned: int = 0
+    apl_pruned: int = 0
+    mib_pruned: int = 0
+    validated: int = 0
+    distance_computations: int = 0
+    disk_reads: int = 0
+    disk_pages_read: int = 0
+
+    def reset(self) -> None:
+        """Restore every counter to its declared default.
+
+        Driven by :func:`dataclasses.fields` so a newly added counter can
+        never be silently missed here (``default_factory`` fields are
+        rebuilt, not set to the MISSING sentinel).
+        """
+        for f in fields(self):
+            if f.default_factory is not MISSING:
+                setattr(self, f.name, f.default_factory())
+            else:
+                setattr(self, f.name, f.default)
+
+
+@dataclass(slots=True)
+class ExecutionContext:
+    """Everything mutable about one query's execution.
+
+    Built by :meth:`~repro.core.engine.GATSearchEngine.execute`; the
+    pipeline stages write their counters into ``stats`` and their results
+    into ``results``, and the finished context is returned to the caller
+    (``ranked`` carries the final ordering, ``latency_s`` the wall time).
+    """
+
+    query: Query
+    k: int
+    order_sensitive: bool
+    evaluator: MatchEvaluator
+    explain: bool = False
+    stats: SearchStats = field(default_factory=SearchStats)
+    results: TopKCollector = field(init=False)
+    ranked: Optional[List[SearchResult]] = None
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.results = TopKCollector(self.k)
+
+    @property
+    def query_activities(self):
+        """The union of activities over all query points (``Q.Φ``)."""
+        return self.query.all_activities
+
+    def threshold(self) -> float:
+        """The current k-th best distance — the running pruning threshold
+        of Algorithm 1 (``inf`` until k results are held)."""
+        return self.results.kth_distance()

@@ -3,70 +3,58 @@
 
 Query processing alternates two phases until the pruning condition fires:
 
-1. **Candidate retrieval** — a single best-first priority queue holds
-   ``(mdist, level, cell, query-point)`` entries across *all* query points.
-   Popping a non-leaf cell expands only the children that contain at least
-   one of that query point's activities (a HICL lookup); popping a leaf
-   cell harvests the trajectories in its ITL lists for those activities.
-   The round ends once at least ``λ`` new candidates have been gathered.
-2. **Validation + scoring** — each new candidate runs the TAS superset
-   check (cheap, in memory, no false dismissals), then the APL check (one
-   counted disk read, exact), then — for OATSQ — the MIB order check, and
-   finally the shared distance computation (Algorithm 3 / Algorithm 4 via
+1. **Candidate retrieval** — :class:`~repro.core.pipeline.CandidateRetriever`
+   pops cells from a single best-first priority queue across *all* query
+   points, expanding HICL children or harvesting leaf ITL lists, until at
+   least ``λ`` new candidates have been gathered.
+2. **Validation + scoring** — each new candidate runs the
+   :class:`~repro.core.pipeline.ValidationStage` chain (TAS superset
+   check → APL exact check → MIB order check for OATSQ), then the
+   :class:`~repro.core.pipeline.ScoringStage` distance computation
+   (Algorithm 3 / Algorithm 4 via
    :class:`~repro.core.evaluator.MatchEvaluator`).
 
 After every round the lower bound ``D_lb`` for all unseen trajectories is
 recomputed (Algorithm 2); the search stops when the current k-th best
 distance beats it.  OATSQ reuses the identical retrieval machinery because
 ``Dmm`` lower-bounds ``Dmom`` (Lemma 3).
+
+Concurrency: the engine object holds only immutable configuration and
+index references — every mutable per-query artefact (counters, heap,
+frontiers, top-k collector, evaluator) lives in the
+:class:`~repro.core.context.ExecutionContext` built per call, and disk
+I/O is attributed per query via :meth:`SimulatedDisk.track`.  One engine
+can therefore serve many threads at once (see
+:class:`repro.service.QueryService`); ``engine.stats`` remains available
+as the *calling thread's* last-query counters for backward compatibility.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+import threading
+import time
+from typing import List, Optional
 
+from repro.core.context import ExecutionContext, SearchStats
 from repro.core.evaluator import MatchEvaluator
-from repro.core.lower_bound import Frontier, lower_bound_distance
+from repro.core.lower_bound import lower_bound_distance
 from repro.core.match import INFINITY
-from repro.core.order_match import order_feasible
+from repro.core.pipeline import (
+    APLFilter,
+    Candidate,
+    CandidateRetriever,
+    MIBFilter,
+    ScoringStage,
+    TASFilter,
+    ValidationStage,
+)
 from repro.core.query import Query
-from repro.core.results import SearchResult, TopKCollector
-from repro.index.gat.apl import APLStore
+from repro.core.results import SearchResult
 from repro.index.gat.index import GATIndex
 from repro.model.distance import DistanceMetric
+from repro.storage.cache import CacheStats, LRUCache
 
-
-@dataclass(slots=True)
-class SearchStats:
-    """Work counters for one query (reset per call)."""
-
-    rounds: int = 0
-    cells_popped: int = 0
-    leaf_cells_visited: int = 0
-    candidates_retrieved: int = 0
-    tas_pruned: int = 0
-    apl_pruned: int = 0
-    mib_pruned: int = 0
-    validated: int = 0
-    distance_computations: int = 0
-    disk_reads: int = 0
-    disk_pages_read: int = 0
-
-    def reset(self) -> None:
-        self.rounds = 0
-        self.cells_popped = 0
-        self.leaf_cells_visited = 0
-        self.candidates_retrieved = 0
-        self.tas_pruned = 0
-        self.apl_pruned = 0
-        self.mib_pruned = 0
-        self.validated = 0
-        self.distance_computations = 0
-        self.disk_reads = 0
-        self.disk_pages_read = 0
+__all__ = ["GATSearchEngine", "SearchStats", "ExecutionContext"]
 
 
 class GATSearchEngine:
@@ -86,8 +74,14 @@ class GATSearchEngine:
         ``m`` of Algorithm 2 — frontier cells per virtual trajectory.
     use_tas / use_tight_lower_bound:
         Ablation switches (both on by default = the paper's design).
-        Disabling TAS skips the sketch filter; disabling the tight lower
-        bound falls back to the loose queue-top bound the paper rejects.
+        Disabling TAS drops the sketch filter from the validation chain;
+        disabling the tight lower bound falls back to the loose queue-top
+        bound the paper rejects.
+    apl_cache_size:
+        Capacity of the engine-level LRU over APL posting-list fetches
+        (hot trajectories skip the counted disk read).  ``0`` disables it,
+        restoring the seed behaviour of one APL read per surviving
+        candidate per query.
     """
 
     def __init__(
@@ -98,177 +92,147 @@ class GATSearchEngine:
         lb_cells: int = 8,
         use_tas: bool = True,
         use_tight_lower_bound: bool = True,
+        apl_cache_size: int = 2048,
     ) -> None:
         if retrieval_batch < 1:
             raise ValueError("retrieval_batch (λ) must be >= 1")
         if lb_cells < 1:
             raise ValueError("lb_cells (m) must be >= 1")
+        if apl_cache_size < 0:
+            raise ValueError("apl_cache_size must be >= 0")
         self.index = index
         self.db = index.db
+        self.metric = metric
+        # Convenience instance for callers wanting ad-hoc dmm/dmom
+        # computations with the engine's metric.  The engine itself never
+        # scores through it — each ExecutionContext gets its own
+        # evaluator — so its counters stay at zero under execute().
         self.evaluator = MatchEvaluator(metric)
         self.retrieval_batch = retrieval_batch
         self.lb_cells = lb_cells
         self.use_tas = use_tas
         self.use_tight_lower_bound = use_tight_lower_bound
-        self.stats = SearchStats()
+        self.apl_cache: Optional[LRUCache] = (
+            LRUCache(apl_cache_size) if apl_cache_size > 0 else None
+        )
+        self._scoring = ScoringStage(self.db)
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def atsq(self, query: Query, k: int, explain: bool = False) -> List[SearchResult]:
         """Top-k trajectories by minimum match distance (ATSQ)."""
-        return self._search(query, k, order_sensitive=False, explain=explain)
+        return self.execute(query, k, order_sensitive=False, explain=explain).ranked
 
     def oatsq(self, query: Query, k: int, explain: bool = False) -> List[SearchResult]:
         """Top-k trajectories by minimum order-sensitive match distance."""
-        return self._search(query, k, order_sensitive=True, explain=explain)
+        return self.execute(query, k, order_sensitive=True, explain=explain).ranked
+
+    @property
+    def stats(self) -> SearchStats:
+        """The calling thread's most recent query counters.
+
+        Kept for the seed's ``engine.atsq(...); engine.stats`` idiom; each
+        thread sees only its own queries.  Prefer the
+        :class:`ExecutionContext` returned by :meth:`execute`.
+        """
+        stats = getattr(self._local, "stats", None)
+        if stats is None:
+            stats = SearchStats()
+            self._local.stats = stats
+        return stats
+
+    def apl_cache_stats(self) -> Optional[CacheStats]:
+        """Hit/miss accounting of the engine's APL LRU (None if disabled)."""
+        return self.apl_cache.stats() if self.apl_cache is not None else None
+
+    # ------------------------------------------------------------------
+    # Pipeline assembly
+    # ------------------------------------------------------------------
+    def filter_chain(self, order_sensitive: bool) -> list:
+        """The validation chain for one query — the paper's TAS → APL
+        (→ MIB for OATSQ) order.  Ablations and experiments can compose
+        their own chain and pass it to :meth:`execute`."""
+        filters: list = []
+        if self.use_tas:
+            filters.append(TASFilter(self.index.sketches))
+        filters.append(APLFilter(self.index.apl, self.apl_cache))
+        if order_sensitive:
+            filters.append(MIBFilter(self.db))
+        return filters
 
     # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
-    def _search(
-        self, query: Query, k: int, order_sensitive: bool, explain: bool
-    ) -> List[SearchResult]:
-        self.stats.reset()
-        self.index.hicl.clear_cache()
-        disk_before = self.index.disk.stats.snapshot()
+    def execute(
+        self,
+        query: Query,
+        k: int,
+        order_sensitive: bool = False,
+        explain: bool = False,
+        filters: Optional[list] = None,
+    ) -> ExecutionContext:
+        """Run one query through the staged pipeline and return its
+        completed :class:`ExecutionContext` (results in ``ranked``,
+        counters in ``stats``)."""
+        ctx = ExecutionContext(
+            query=query,
+            k=k,
+            order_sensitive=order_sensitive,
+            explain=explain,
+            evaluator=MatchEvaluator(self.metric),
+        )
+        validation = ValidationStage(
+            self.filter_chain(order_sensitive) if filters is None else filters
+        )
+        t0 = time.perf_counter()
 
-        state = _RetrievalState(self, query)
-        results = TopKCollector(k)
-        query_activities = query.all_activities
+        with self.index.disk.track() as disk:
+            # Inside the tracked block: seeding the retriever reads the
+            # level-1 HICL lists, which count toward this query's I/O.
+            retriever = CandidateRetriever(self.index, query, ctx.stats)
+            while True:
+                ctx.stats.rounds += 1
+                new_candidates = retriever.retrieve(self.retrieval_batch)
+                lower = self._lower_bound(query, retriever)
+                for tid in new_candidates:
+                    candidate = Candidate(tid)
+                    if not validation.admit(ctx, candidate):
+                        continue
+                    distance = self._scoring.score(ctx, candidate)
+                    if distance != INFINITY:
+                        ctx.results.offer(SearchResult(tid, distance))
+                if ctx.results.kth_distance() < lower:
+                    break  # no unseen trajectory can beat the current top-k
+                if not new_candidates and retriever.exhausted:
+                    break  # the whole index has been harvested
 
-        while True:
-            self.stats.rounds += 1
-            new_candidates = state.retrieve(self.retrieval_batch)
-            lower = self._lower_bound(query, state)
-            for tid in new_candidates:
-                distance = self._score_candidate(
-                    query, tid, query_activities, order_sensitive, results.kth_distance()
-                )
-                if distance != INFINITY:
-                    results.offer(SearchResult(tid, distance))
-            if results.kth_distance() < lower:
-                break  # no unseen trajectory can beat the current top-k
-            if not new_candidates and state.exhausted:
-                break  # the whole index has been harvested
+        ctx.stats.disk_reads = disk.reads
+        ctx.stats.disk_pages_read = disk.pages_read
 
-        delta = self.index.disk.stats.delta(disk_before)
-        self.stats.disk_reads = delta.reads
-        self.stats.disk_pages_read = delta.pages_read
-
-        ranked = results.results()
+        ranked = ctx.results.results()
         if explain:
-            ranked = [self._explain(query, r, order_sensitive) for r in ranked]
-        return ranked
+            ranked = [self._explain(ctx, r) for r in ranked]
+        ctx.ranked = ranked
+        ctx.latency_s = time.perf_counter() - t0
+        self._local.stats = ctx.stats
+        return ctx
 
-    def _lower_bound(self, query: Query, state: "_RetrievalState") -> float:
+    def _lower_bound(self, query: Query, retriever: CandidateRetriever) -> float:
         if not self.use_tight_lower_bound:
             # Ablation: the loose bound the paper rejects — the smallest
             # mdist still in the queue, one per query point is not even
             # attempted; a single global queue top bounds a single Dmpm.
-            return state.queue_top_mdist()
-        return lower_bound_distance(query, state.frontiers, self.index.hicl, self.lb_cells)
+            return retriever.queue_top_mdist()
+        return lower_bound_distance(
+            query, retriever.frontiers, self.index.hicl, self.lb_cells
+        )
 
-    # ------------------------------------------------------------------
-    # Validation + scoring (Sections V-C, V-D, VI-B, VI-C)
-    # ------------------------------------------------------------------
-    def _score_candidate(
-        self,
-        query: Query,
-        tid: int,
-        query_activities,
-        order_sensitive: bool,
-        threshold: float,
-    ) -> float:
-        if self.use_tas:
-            sketch = self.index.sketches[tid]
-            if not sketch.covers_all(query_activities):
-                self.stats.tas_pruned += 1
-                return INFINITY
-        posting = self.index.apl.fetch(tid)  # counted disk read
-        if not APLStore.covers_query(posting, query_activities):
-            self.stats.apl_pruned += 1
-            return INFINITY
-        trajectory = self.db.get(tid)
-        if order_sensitive:
-            if not order_feasible(trajectory, query):
-                self.stats.mib_pruned += 1
-                return INFINITY
-            self.stats.validated += 1
-            self.stats.distance_computations += 1
-            return self.evaluator.dmom(query, trajectory, threshold, check_order=False)
-        self.stats.validated += 1
-        self.stats.distance_computations += 1
-        return self.evaluator.dmm(query, trajectory)
-
-    def _explain(
-        self, query: Query, result: SearchResult, order_sensitive: bool
-    ) -> SearchResult:
+    def _explain(self, ctx: ExecutionContext, result: SearchResult) -> SearchResult:
         trajectory = self.db.get(result.trajectory_id)
-        if order_sensitive:
-            _d, matches = self.evaluator.dmom_explained(query, trajectory)
+        if ctx.order_sensitive:
+            _d, matches = ctx.evaluator.dmom_explained(ctx.query, trajectory)
         else:
-            _d, matches = self.evaluator.dmm_explained(query, trajectory)
+            _d, matches = ctx.evaluator.dmm_explained(ctx.query, trajectory)
         return SearchResult(result.trajectory_id, result.distance, matches)
-
-
-class _RetrievalState:
-    """The best-first traversal state shared across retrieval rounds."""
-
-    __slots__ = ("engine", "query", "heap", "frontiers", "seen", "exhausted", "_tick")
-
-    def __init__(self, engine: GATSearchEngine, query: Query) -> None:
-        self.engine = engine
-        self.query = query
-        self.heap: List[Tuple[float, int, int, int, int]] = []
-        # (mdist, tiebreak, level, code, query-point index)
-        self.frontiers: Dict[int, Frontier] = {qi: Frontier() for qi in range(len(query))}
-        self.seen: Set[int] = set()
-        self.exhausted = False
-        self._tick = itertools.count()
-
-        hicl = engine.index.hicl
-        grid = engine.index.grid
-        for qi, q in enumerate(query):
-            for code in hicl.cells_with_any(q.activities, 1):
-                mdist = grid.level(1).min_dist(q.coord, code)
-                self._push(mdist, 1, code, qi)
-
-    def _push(self, mdist: float, level: int, code: int, qi: int) -> None:
-        heapq.heappush(self.heap, (mdist, next(self._tick), level, code, qi))
-        self.frontiers[qi].add(mdist, level, code)
-
-    def queue_top_mdist(self) -> float:
-        return self.heap[0][0] if self.heap else INFINITY
-
-    def retrieve(self, batch: int) -> List[int]:
-        """Pop cells best-first until ``batch`` *new* candidate trajectories
-        have been collected (Section V-A), or the queue runs dry."""
-        engine = self.engine
-        hicl = engine.index.hicl
-        itl = engine.index.itl
-        grid = engine.index.grid
-        depth = grid.depth
-        new_candidates: List[int] = []
-
-        while self.heap and len(new_candidates) < batch:
-            mdist, _tick, level, code, qi = heapq.heappop(self.heap)
-            engine.stats.cells_popped += 1
-            q = self.query[qi]
-            self.frontiers[qi].remove(mdist, level, code)
-            if level < depth:
-                child_level = grid.level(level + 1)
-                for child in hicl.children_with_any(code, level, q.activities):
-                    child_mdist = child_level.min_dist(q.coord, child)
-                    self._push(child_mdist, level + 1, child, qi)
-            else:
-                engine.stats.leaf_cells_visited += 1
-                for tid in itl.trajectories_with_any(code, q.activities):
-                    if tid not in self.seen:
-                        self.seen.add(tid)
-                        new_candidates.append(tid)
-
-        if not self.heap:
-            self.exhausted = True
-        engine.stats.candidates_retrieved += len(new_candidates)
-        return new_candidates

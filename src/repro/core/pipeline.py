@@ -1,0 +1,231 @@
+"""The staged query pipeline: retrieval → validation → scoring.
+
+Algorithm 1's loop body is factored into three explicit, composable
+stages, each stateless apart from what it reads from the index and writes
+into the per-query :class:`~repro.core.context.ExecutionContext`:
+
+* :class:`CandidateRetriever` — the best-first priority queue over the
+  HICL hierarchy and the leaf ITL lists (Section V-A).  One instance per
+  query: it owns the heap, the per-query-point frontiers that feed
+  Algorithm 2, and the seen-set.
+* :class:`ValidationStage` — an ordered chain of candidate filters, each
+  with its own pruning counter on :class:`SearchStats`.  The paper's
+  chain is TAS (cheap superset sketch, Section V-C) → APL (exact, one
+  counted disk read) → MIB order-feasibility for OATSQ (Section VI-B).
+  Ablations compose a different chain instead of branching on flags.
+* :class:`ScoringStage` — the evaluator dispatch: ``Dmm`` (Algorithm 3)
+  for ATSQ, ``Dmom`` (Algorithm 4, threshold-pruned) for OATSQ.
+
+Filters communicate through the per-candidate :class:`Candidate` record
+so expensive loads happen once: the APL filter leaves the fetched posting
+lists on the record, the MIB filter the materialised trajectory, and the
+scoring stage reuses both.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.context import ExecutionContext, SearchStats
+from repro.core.lower_bound import Frontier
+from repro.core.match import INFINITY
+from repro.core.order_match import order_feasible
+from repro.core.query import Query
+from repro.index.gat.apl import APLStore, PostingLists
+from repro.index.gat.index import GATIndex
+from repro.index.gat.tas import TrajectorySketch
+from repro.model.database import TrajectoryDatabase
+from repro.model.trajectory import ActivityTrajectory
+from repro.storage.cache import LRUCache
+
+
+@dataclass(slots=True)
+class Candidate:
+    """One retrieved trajectory flowing through the validation chain.
+
+    Filters attach what they had to load so later stages don't pay twice.
+    """
+
+    trajectory_id: int
+    posting: Optional[PostingLists] = None
+    trajectory: Optional[ActivityTrajectory] = None
+
+
+# ----------------------------------------------------------------------
+# Stage 1 — candidate retrieval (Section V-A)
+# ----------------------------------------------------------------------
+class CandidateRetriever:
+    """Best-first traversal state for one query.
+
+    A single priority queue holds ``(mdist, tiebreak, level, cell,
+    query-point index)`` entries across all query points; popping a
+    non-leaf cell expands only the children containing at least one of
+    that query point's activities, popping a leaf harvests its ITL lists.
+    Work counters go to the per-query *stats*, never to shared state.
+    """
+
+    __slots__ = ("index", "query", "stats", "heap", "frontiers", "seen", "exhausted", "_tick")
+
+    def __init__(self, index: GATIndex, query: Query, stats: SearchStats) -> None:
+        self.index = index
+        self.query = query
+        self.stats = stats
+        self.heap: List[Tuple[float, int, int, int, int]] = []
+        self.frontiers: Dict[int, Frontier] = {qi: Frontier() for qi in range(len(query))}
+        self.seen: Set[int] = set()
+        self.exhausted = False
+        self._tick = itertools.count()
+
+        hicl = index.hicl
+        grid = index.grid
+        for qi, q in enumerate(query):
+            for code in hicl.cells_with_any(q.activities, 1):
+                mdist = grid.level(1).min_dist(q.coord, code)
+                self._push(mdist, 1, code, qi)
+
+    def _push(self, mdist: float, level: int, code: int, qi: int) -> None:
+        heapq.heappush(self.heap, (mdist, next(self._tick), level, code, qi))
+        self.frontiers[qi].add(mdist, level, code)
+
+    def queue_top_mdist(self) -> float:
+        return self.heap[0][0] if self.heap else INFINITY
+
+    def retrieve(self, batch: int) -> List[int]:
+        """Pop cells best-first until ``batch`` *new* candidate trajectories
+        have been collected (Section V-A), or the queue runs dry."""
+        hicl = self.index.hicl
+        itl = self.index.itl
+        grid = self.index.grid
+        depth = grid.depth
+        stats = self.stats
+        new_candidates: List[int] = []
+
+        while self.heap and len(new_candidates) < batch:
+            mdist, _tick, level, code, qi = heapq.heappop(self.heap)
+            stats.cells_popped += 1
+            q = self.query[qi]
+            self.frontiers[qi].remove(mdist, level, code)
+            if level < depth:
+                child_level = grid.level(level + 1)
+                for child in hicl.children_with_any(code, level, q.activities):
+                    child_mdist = child_level.min_dist(q.coord, child)
+                    self._push(child_mdist, level + 1, child, qi)
+            else:
+                stats.leaf_cells_visited += 1
+                for tid in itl.trajectories_with_any(code, q.activities):
+                    if tid not in self.seen:
+                        self.seen.add(tid)
+                        new_candidates.append(tid)
+
+        if not self.heap:
+            self.exhausted = True
+        stats.candidates_retrieved += len(new_candidates)
+        return new_candidates
+
+
+# ----------------------------------------------------------------------
+# Stage 2 — validation filters (Sections V-C, VI-B)
+# ----------------------------------------------------------------------
+class TASFilter:
+    """Trajectory Activity Sketch superset check — cheap, in memory, no
+    false dismissals (Section V-C)."""
+
+    stat_field = "tas_pruned"
+    __slots__ = ("sketches",)
+
+    def __init__(self, sketches: Dict[int, TrajectorySketch]) -> None:
+        self.sketches = sketches
+
+    def admits(self, ctx: ExecutionContext, candidate: Candidate) -> bool:
+        return self.sketches[candidate.trajectory_id].covers_all(ctx.query_activities)
+
+
+class APLFilter:
+    """Exact coverage check against the trajectory's Activity Posting
+    Lists — one counted disk read, served from the engine's LRU when the
+    trajectory is hot (Section V-C)."""
+
+    stat_field = "apl_pruned"
+    __slots__ = ("apl", "cache")
+
+    def __init__(self, apl: APLStore, cache: Optional[LRUCache] = None) -> None:
+        self.apl = apl
+        self.cache = cache
+
+    def admits(self, ctx: ExecutionContext, candidate: Candidate) -> bool:
+        candidate.posting = self.apl.fetch_cached(candidate.trajectory_id, self.cache)
+        return APLStore.covers_query(candidate.posting, ctx.query_activities)
+
+
+class MIBFilter:
+    """Maximum-index-based order feasibility for OATSQ (Section VI-B):
+    reject candidates that cannot match the query points in order."""
+
+    stat_field = "mib_pruned"
+    __slots__ = ("db",)
+
+    def __init__(self, db: TrajectoryDatabase) -> None:
+        self.db = db
+
+    def admits(self, ctx: ExecutionContext, candidate: Candidate) -> bool:
+        candidate.trajectory = self.db.get(candidate.trajectory_id)
+        return order_feasible(candidate.trajectory, ctx.query)
+
+
+class ValidationStage:
+    """An ordered filter chain; the first rejecting filter's counter on
+    ``ctx.stats`` is bumped and the candidate is dropped.
+
+    Filter protocol: ``admits(ctx, candidate) -> bool`` plus an optional
+    ``stat_field`` naming the :class:`SearchStats` counter to bump on
+    rejection (a custom filter without one simply goes uncounted).
+    """
+
+    __slots__ = ("filters",)
+
+    def __init__(self, filters: Sequence) -> None:
+        self.filters = tuple(filters)
+
+    def admit(self, ctx: ExecutionContext, candidate: Candidate) -> bool:
+        for f in self.filters:
+            if not f.admits(ctx, candidate):
+                stat_field = getattr(f, "stat_field", None)
+                if stat_field is not None:
+                    setattr(ctx.stats, stat_field, getattr(ctx.stats, stat_field) + 1)
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Stage 3 — scoring (Sections V-D, VI-C)
+# ----------------------------------------------------------------------
+class ScoringStage:
+    """Evaluator dispatch for validated candidates.
+
+    OATSQ calls ``dmom`` with ``check_order=False`` when (as in the
+    paper's chain) the MIB filter already established feasibility; the
+    DP itself still returns ``inf`` for infeasible candidates, so a
+    chain composed *without* the MIB filter stays correct — it only
+    loses the cheap pre-prune.
+    """
+
+    __slots__ = ("db", "check_order")
+
+    def __init__(self, db: TrajectoryDatabase, check_order: bool = False) -> None:
+        self.db = db
+        self.check_order = check_order
+
+    def score(self, ctx: ExecutionContext, candidate: Candidate) -> float:
+        trajectory = candidate.trajectory
+        if trajectory is None:
+            trajectory = candidate.trajectory = self.db.get(candidate.trajectory_id)
+        ctx.stats.validated += 1
+        ctx.stats.distance_computations += 1
+        if ctx.order_sensitive:
+            return ctx.evaluator.dmom(
+                ctx.query, trajectory, ctx.threshold(), check_order=self.check_order
+            )
+        return ctx.evaluator.dmm(ctx.query, trajectory)

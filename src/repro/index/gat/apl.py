@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.model.database import TrajectoryDatabase
+from repro.storage.cache import LRUCache
 from repro.storage.disk import SimulatedDisk
 
 PostingLists = Dict[int, Tuple[int, ...]]
@@ -53,6 +54,21 @@ class APLStore:
             If the trajectory was never stored.
         """
         return self.disk.get(("apl", trajectory_id))
+
+    def fetch_cached(self, trajectory_id: int, cache: Optional[LRUCache]) -> PostingLists:
+        """Like :meth:`fetch` but served from *cache* when warm.
+
+        Posting lists are written once at build/insert time and treated as
+        immutable afterwards, so a shared cache is safe across concurrent
+        queries; a hit skips the counted disk read entirely (the engine
+        uses this for hot-trajectory fetches).  ``cache=None`` degrades to
+        a plain :meth:`fetch`.
+        """
+        if cache is None:
+            return self.fetch(trajectory_id)
+        return cache.get_or_load(
+            trajectory_id, lambda: self.fetch(trajectory_id)
+        )
 
     def __contains__(self, trajectory_id: int) -> bool:
         return trajectory_id in self._known

@@ -25,7 +25,14 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tupl
 
 from repro.geometry.grid import HierarchicalGrid
 from repro.model.database import TrajectoryDatabase
+from repro.storage.cache import CacheStats, LRUCache
 from repro.storage.disk import SimulatedDisk
+
+#: Default bound on the shared cache of disk-resident (level, activity)
+#: lists.  At ~8 bytes per cell code a full cache stays well under the
+#: in-memory levels' own footprint; the bound only matters for huge
+#: vocabularies, where LRU keeps exactly the query-hot head resident.
+DEFAULT_CACHE_CAPACITY = 4096
 
 
 def memory_level_budget(budget_bytes: int, vocabulary_size: int) -> int:
@@ -54,6 +61,11 @@ class HICL:
     disk:
         The simulated disk for the low levels (required when
         ``memory_levels < grid.depth``).
+    cache_capacity:
+        Bound on the shared LRU cache of disk-resident lists; ``0``
+        disables caching entirely (every lookup is a counted disk read —
+        the paper-faithful cold accounting, matching the engine's
+        ``apl_cache_size=0`` convention).
     """
 
     def __init__(
@@ -61,6 +73,7 @@ class HICL:
         grid: HierarchicalGrid,
         memory_levels: int,
         disk: Optional[SimulatedDisk] = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
     ) -> None:
         if not 0 <= memory_levels <= grid.depth:
             raise ValueError(
@@ -73,12 +86,19 @@ class HICL:
         self.disk = disk
         # _memory[level][activity] -> frozenset of cell codes (levels 1-based)
         self._memory: Dict[int, Dict[int, FrozenSet[int]]] = {}
-        # Query-time cache of disk-resident lists.  The paper's own remedy
-        # for limited memory is to "retrieve the block(s) around the query
-        # location into main memory at query time"; the engine clears this
-        # per query so each (activity, level) list costs one counted read
-        # per query, not one per cell expansion.
-        self._cache: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        # Shared cache of disk-resident lists.  The paper's own remedy for
+        # limited memory is to "retrieve the block(s) around the query
+        # location into main memory at query time"; a bounded LRU keeps the
+        # query-hot lists warm *across* queries (and across concurrent
+        # queries — the cache is thread-safe), so each (activity, level)
+        # list costs one counted read per eviction cycle, not one per
+        # query.  Cell lists are immutable frozensets, so on a static
+        # index sharing them between queries can never change a result;
+        # add_point invalidates the cache after its writes (and requires
+        # exclusive access, see its docstring).
+        self._cache: Optional[LRUCache] = (
+            LRUCache(cache_capacity) if cache_capacity > 0 else None
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -90,9 +110,10 @@ class HICL:
         grid: HierarchicalGrid,
         memory_levels: int,
         disk: Optional[SimulatedDisk] = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
     ) -> "HICL":
         """Build the full hierarchy from the database's points."""
-        hicl = cls(grid, memory_levels, disk)
+        hicl = cls(grid, memory_levels, disk, cache_capacity)
         depth = grid.depth
         leaf_level = grid.leaf_level
 
@@ -134,20 +155,28 @@ class HICL:
             raise ValueError(f"level {level} outside [1, {self.grid.depth}]")
         if level <= self.memory_levels:
             return self._memory.get(level, {}).get(activity, frozenset())
-        key = (level, activity)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        assert self.disk is not None
-        stored = self.disk.get_or_none(("hicl", level, activity))
-        result = stored if stored is not None else frozenset()
-        self._cache[key] = result
-        return result
+
+        def _load() -> FrozenSet[int]:
+            assert self.disk is not None
+            stored = self.disk.get_or_none(("hicl", level, activity))
+            return stored if stored is not None else frozenset()
+
+        if self._cache is None:
+            return _load()
+        return self._cache.get_or_load((level, activity), _load)
 
     def clear_cache(self) -> None:
-        """Drop the query-time cache of disk-resident lists (call between
-        queries so per-query I/O accounting stays honest)."""
-        self._cache.clear()
+        """Drop the cache of disk-resident lists (forces every next lookup
+        back to counted disk reads — useful for cold-cache measurements)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss accounting of the shared disk-list cache (all zeros
+        when caching is disabled)."""
+        if self._cache is None:
+            return CacheStats(hits=0, misses=0, size=0, capacity=0)
+        return self._cache.stats()
 
     # ------------------------------------------------------------------
     # Dynamic maintenance (extension; the paper only builds statically)
@@ -155,8 +184,14 @@ class HICL:
     def add_point(self, leaf_code: int, activities: Iterable[int]) -> None:
         """Register a new point's activities in its leaf cell and all
         ancestors.  Disk-resident levels are read-modified-written (counted
-        I/O); the per-query cache is invalidated."""
-        self._cache.clear()
+        I/O); the shared list cache is invalidated *after* the writes so a
+        subsequent lookup can only load the updated lists.
+
+        Dynamic maintenance requires exclusive access: like the rest of
+        the index's mutators it updates plain dicts, so it must not run
+        concurrently with queries (build once, serve many — or quiesce
+        the service around inserts).
+        """
         depth = self.grid.depth
         activity_list = list(activities)
         code = leaf_code
@@ -175,6 +210,7 @@ class HICL:
                     if code not in stored:
                         self.disk.put(key, stored | {code})
             code >>= 2
+        self.clear_cache()
 
     def cells_with_any(self, activities: Iterable[int], level: int) -> FrozenSet[int]:
         """Union of the per-activity cell lists (candidate regions for a

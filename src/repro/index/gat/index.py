@@ -94,6 +94,10 @@ class GATIndex:
         """Insert one new trajectory into the database and all four index
         components.
 
+        Requires exclusive access: the mutators update plain dicts, so
+        inserts must not run concurrently with queries (quiesce any
+        :class:`~repro.service.QueryService` around maintenance).
+
         Constraint: the trajectory's points must lie inside the grid's
         bounding box (built from the original database).  Points outside
         would be clamped into edge cells whose MINDIST can exceed the true

@@ -9,7 +9,15 @@ then report logical I/O alongside wall-clock time, which is the faithful
 signal for the paper's memory-budget discussion.
 """
 
+from repro.storage.cache import CacheStats, LRUCache
 from repro.storage.disk import DiskStats, SimulatedDisk
 from repro.storage.serialization import deserialize_obj, serialize_obj
 
-__all__ = ["SimulatedDisk", "DiskStats", "serialize_obj", "deserialize_obj"]
+__all__ = [
+    "SimulatedDisk",
+    "DiskStats",
+    "LRUCache",
+    "CacheStats",
+    "serialize_obj",
+    "deserialize_obj",
+]

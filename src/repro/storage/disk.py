@@ -8,13 +8,23 @@ index designs is *how many page accesses* each strategy performs.  So the
 store serialises values to bytes (their true on-disk size), rounds sizes up
 to pages, and counts reads/writes.  An optional per-read latency can be
 injected for demonstrations but defaults to zero.
+
+Concurrency: the global :class:`DiskStats` counters are updated under a
+lock, and :meth:`SimulatedDisk.track` opens a *per-context* tracker —
+a :class:`DiskStats` that accumulates only the I/O issued by the current
+thread while the ``with`` block is open.  Each query runs on one thread,
+so trackers attribute disk work to the query that caused it even when
+many queries share the disk (the old snapshot/delta protocol misattributed
+reads across concurrent queries).
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterator, Optional
+from typing import Any, Dict, Hashable, Iterator, List, Optional
 
 from repro.storage.serialization import deserialize_obj, serialize_obj
 
@@ -90,6 +100,60 @@ class SimulatedDisk:
         self.read_latency_s = read_latency_s
         self.stats = DiskStats()
         self._records: Dict[Hashable, _Record] = {}
+        self._stats_lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Per-context accounting
+    # ------------------------------------------------------------------
+    def _trackers(self) -> List[DiskStats]:
+        trackers = getattr(self._local, "trackers", None)
+        if trackers is None:
+            trackers = []
+            self._local.trackers = trackers
+        return trackers
+
+    @contextmanager
+    def track(self):
+        """Attribute this thread's I/O to a fresh :class:`DiskStats`.
+
+        Yields the tracker; on exit it holds exactly the reads/writes this
+        thread issued inside the block.  Trackers nest, and concurrent
+        queries on different threads never see each other's I/O.
+        """
+        tracker = DiskStats()
+        stack = self._trackers()
+        stack.append(tracker)
+        try:
+            yield tracker
+        finally:
+            # Remove by identity: DiskStats compares by value, so two
+            # nested trackers with equal counters would alias under
+            # list.remove() and swallow each other's subsequent I/O.
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] is tracker:
+                    del stack[i]
+                    break
+
+    def _account_read(self, n_pages: int, n_bytes: int) -> None:
+        with self._stats_lock:
+            self.stats.reads += 1
+            self.stats.pages_read += n_pages
+            self.stats.bytes_read += n_bytes
+        for tracker in self._trackers():
+            tracker.reads += 1
+            tracker.pages_read += n_pages
+            tracker.bytes_read += n_bytes
+
+    def _account_write(self, n_pages: int, n_bytes: int) -> None:
+        with self._stats_lock:
+            self.stats.writes += 1
+            self.stats.pages_written += n_pages
+            self.stats.bytes_written += n_bytes
+        for tracker in self._trackers():
+            tracker.writes += 1
+            tracker.pages_written += n_pages
+            tracker.bytes_written += n_bytes
 
     # ------------------------------------------------------------------
     # Store / load
@@ -99,9 +163,7 @@ class SimulatedDisk:
         payload = serialize_obj(value)
         n_pages = max(1, -(-len(payload) // self.page_size))
         self._records[key] = _Record(payload, n_pages)
-        self.stats.writes += 1
-        self.stats.pages_written += n_pages
-        self.stats.bytes_written += len(payload)
+        self._account_write(n_pages, len(payload))
         return n_pages
 
     def get(self, key: Hashable) -> Any:
@@ -113,9 +175,7 @@ class SimulatedDisk:
             If nothing was stored under *key*.
         """
         record = self._records[key]
-        self.stats.reads += 1
-        self.stats.pages_read += record.n_pages
-        self.stats.bytes_read += len(record.payload)
+        self._account_read(record.n_pages, len(record.payload))
         if self.read_latency_s > 0.0:
             time.sleep(self.read_latency_s)
         return deserialize_obj(record.payload)
@@ -128,7 +188,7 @@ class SimulatedDisk:
         """
         record = self._records.get(key)
         if record is None:
-            self.stats.reads += 1
+            self._account_read(0, 0)
             return None
         return self.get(key)
 

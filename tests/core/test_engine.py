@@ -84,13 +84,17 @@ class TestATSQ:
                     covered |= tr[pos].activities
                 assert qp.activities <= covered
 
-    def test_stats_populated(self, engine, small_db):
+    def test_stats_populated(self, small_db):
+        # A fresh engine so the shared HICL/APL caches are cold — disk
+        # reads on a warm engine can legitimately drop to zero.
+        index = GATIndex.build(small_db, GATConfig(depth=5, memory_levels=4))
+        fresh = GATSearchEngine(index)
         q = _query_from(small_db, 6)
-        engine.atsq(q, k=3)
-        assert engine.stats.rounds >= 1
-        assert engine.stats.cells_popped > 0
-        assert engine.stats.candidates_retrieved > 0
-        assert engine.stats.disk_reads > 0  # APL fetches at minimum
+        fresh.atsq(q, k=3)
+        assert fresh.stats.rounds >= 1
+        assert fresh.stats.cells_popped > 0
+        assert fresh.stats.candidates_retrieved > 0
+        assert fresh.stats.disk_reads > 0  # APL fetches at minimum
 
 
 class TestOATSQ:

@@ -106,6 +106,88 @@ class TestDiskResidence:
         hicl.cells_with_activity(db.vocabulary.id_of("a"), 2)
         assert disk.stats.reads == 0
 
+    def test_cache_is_lru_bounded(self, db, grid):
+        disk = SimulatedDisk()
+        hicl = HICL.build(db, grid, memory_levels=2, disk=disk, cache_capacity=1)
+        disk.reset_stats()
+        a, b = db.vocabulary.id_of("a"), db.vocabulary.id_of("b")
+        hicl.cells_with_activity(a, 4)  # load a
+        hicl.cells_with_activity(b, 4)  # evicts a (capacity 1)
+        hicl.cells_with_activity(a, 4)  # re-read from disk
+        assert disk.stats.reads == 3
+
+    def test_cache_capacity_zero_disables_caching(self, db, grid):
+        """cache_capacity=0 = every lookup is a counted read (mirrors the
+        engine's apl_cache_size=0 convention)."""
+        disk = SimulatedDisk()
+        hicl = HICL.build(db, grid, memory_levels=2, disk=disk, cache_capacity=0)
+        disk.reset_stats()
+        a = db.vocabulary.id_of("a")
+        for _ in range(3):
+            hicl.cells_with_activity(a, 4)
+        assert disk.stats.reads == 3
+        stats = hicl.cache_stats()
+        assert (stats.hits, stats.misses, stats.capacity) == (0, 0, 0)
+        hicl.clear_cache()  # no-op, must not raise
+
+    def test_cache_stats_exposed(self, db, grid):
+        disk = SimulatedDisk()
+        hicl = HICL.build(db, grid, memory_levels=2, disk=disk)
+        a = db.vocabulary.id_of("a")
+        hicl.cells_with_activity(a, 4)
+        hicl.cells_with_activity(a, 4)
+        stats = hicl.cache_stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+
+class TestWarmCacheAcrossQueries:
+    """Regression for the cross-query cache thrash: the engine used to
+    call ``clear_cache()`` at the start of every query, so back-to-back
+    queries re-read every disk-resident cell list."""
+
+    def _engine_and_query(self, small_db):
+        from repro.core.engine import GATSearchEngine
+        from repro.core.query import Query, QueryPoint
+        from repro.index.gat.index import GATConfig, GATIndex
+
+        # memory_levels < depth so leaf lookups hit the simulated disk.
+        index = GATIndex.build(small_db, GATConfig(depth=5, memory_levels=3))
+        engine = GATSearchEngine(index)
+        tr = next(t for t in small_db if sum(1 for p in t if p.activities) >= 2)
+        pts = [p for p in tr if p.activities][:2]
+        query = Query(
+            [QueryPoint(p.x, p.y, frozenset(list(p.activities)[:2])) for p in pts]
+        )
+        return engine, query
+
+    def test_back_to_back_queries_reuse_warm_cells(self, small_db):
+        engine, query = self._engine_and_query(small_db)
+        first = engine.execute(query, k=3).stats
+        warm_before = engine.index.hicl.cache_stats()
+        second = engine.execute(query, k=3).stats
+        warm_after = engine.index.hicl.cache_stats()
+        # Identical answers and pruning work either way...
+        assert second.tas_pruned == first.tas_pruned
+        assert second.apl_pruned == first.apl_pruned
+        # ...but the repeat query is served from the warm caches.
+        assert second.disk_reads < first.disk_reads
+        assert warm_after.hits > warm_before.hits
+        assert warm_after.misses == warm_before.misses
+
+    def test_cold_cache_restores_seed_io(self, small_db):
+        """clear_cache() + a cache-less engine reproduces the seed's
+        one-read-per-(activity,level)-per-query accounting."""
+        from repro.core.engine import GATSearchEngine
+
+        engine, query = self._engine_and_query(small_db)
+        cold = GATSearchEngine(engine.index, apl_cache_size=0)
+        engine.index.hicl.clear_cache()
+        first = cold.execute(query, k=3).stats
+        engine.index.hicl.clear_cache()
+        second = cold.execute(query, k=3).stats
+        assert second.disk_reads == first.disk_reads
+
 
 class TestQueries:
     def test_cells_with_any_unions(self, db, grid):

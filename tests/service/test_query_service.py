@@ -1,0 +1,158 @@
+"""QueryService: batched serving must be indistinguishable from a
+sequential loop over the engine — bitwise-identical results, any worker
+count, any batch order — plus thread-safety of one shared engine."""
+
+import random
+import threading
+
+import pytest
+
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.core.engine import GATSearchEngine
+from repro.index.gat.index import GATConfig, GATIndex
+from repro.service import QueryRequest, QueryService
+
+
+@pytest.fixture(scope="module")
+def index(small_db):
+    return GATIndex.build(small_db, GATConfig(depth=5, memory_levels=4))
+
+
+@pytest.fixture(scope="module")
+def engine(index):
+    return GATSearchEngine(index)
+
+
+@pytest.fixture(scope="module")
+def mixed_requests(small_db):
+    """≥50 mixed ATSQ/OATSQ requests anchored in the database."""
+    gen = QueryWorkloadGenerator(
+        small_db, WorkloadConfig(n_query_points=3, n_activities_per_point=2, seed=7)
+    )
+    queries = gen.queries(52)
+    return [
+        QueryRequest(q, k=5, order_sensitive=(i % 2 == 1))
+        for i, q in enumerate(queries)
+    ]
+
+
+def _sequential_answers(engine, requests):
+    out = []
+    for r in requests:
+        run = engine.oatsq if r.order_sensitive else engine.atsq
+        out.append([(res.trajectory_id, res.distance) for res in run(r.query, r.k)])
+    return out
+
+
+def _response_answers(responses):
+    return [
+        [(res.trajectory_id, res.distance) for res in resp.results]
+        for resp in responses
+    ]
+
+
+class TestBatchSequentialParity:
+    def test_search_many_matches_sequential_loop(self, engine, mixed_requests):
+        """The acceptance property: 8 workers over 50+ mixed ATSQ/OATSQ
+        queries, bitwise-identical ids and distances to the loop."""
+        expected = _sequential_answers(engine, mixed_requests)
+        service = QueryService(engine, max_workers=8)
+        responses = service.search_many(mixed_requests)
+        assert _response_answers(responses) == expected
+
+    @pytest.mark.parametrize("shuffle_seed", [0, 1, 2, 3])
+    def test_shuffled_batch_property(self, engine, mixed_requests, shuffle_seed):
+        """Property over batch orderings: shuffling the batch permutes the
+        responses identically — answers depend only on the request."""
+        expected = _sequential_answers(engine, mixed_requests)
+        order = list(range(len(mixed_requests)))
+        random.Random(shuffle_seed).shuffle(order)
+        shuffled = [mixed_requests[i] for i in order]
+        service = QueryService(engine, max_workers=8)
+        responses = service.search_many(shuffled)
+        got = _response_answers(responses)
+        assert got == [expected[i] for i in order]
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_worker_count_is_invisible(self, engine, mixed_requests, workers):
+        subset = mixed_requests[:12]
+        expected = _sequential_answers(engine, subset)
+        service = QueryService(engine, max_workers=workers)
+        assert _response_answers(service.search_many(subset)) == expected
+
+    def test_bare_queries_accepted(self, engine, mixed_requests):
+        queries = [r.query for r in mixed_requests[:6]]
+        service = QueryService(engine)
+        responses = service.search_many(queries, k=4, order_sensitive=True)
+        expected = _sequential_answers(
+            engine, [QueryRequest(q, k=4, order_sensitive=True) for q in queries]
+        )
+        assert _response_answers(responses) == expected
+
+
+class TestThreadSafety:
+    def test_concurrent_queries_against_one_engine(self, engine, mixed_requests):
+        """≥8 raw threads fire simultaneously at one engine; every thread
+        must get the same answer and its own uncorrupted counters."""
+        requests = mixed_requests[:8]
+        expected = _sequential_answers(engine, requests)
+        barrier = threading.Barrier(len(requests))
+        answers = [None] * len(requests)
+        stats = [None] * len(requests)
+        errors = []
+
+        def worker(i, req):
+            try:
+                barrier.wait(timeout=30)
+                run = engine.oatsq if req.order_sensitive else engine.atsq
+                results = run(req.query, req.k)
+                answers[i] = [(r.trajectory_id, r.distance) for r in results]
+                stats[i] = engine.stats  # thread-local: this thread's query
+            except Exception as exc:  # pragma: no cover - failure diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i, req))
+            for i, req in enumerate(requests)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert answers == expected
+        # Each thread saw its own query's counters, not a neighbour's.
+        for s in stats:
+            assert s is not None and s.rounds >= 1
+        assert len({id(s) for s in stats}) == len(stats)
+
+
+class TestServiceStats:
+    def test_stats_aggregate(self, engine, mixed_requests):
+        service = QueryService(engine, max_workers=4)
+        n = 10
+        service.search_many(mixed_requests[:n])
+        stats = service.stats()
+        assert stats.queries == n
+        assert stats.wall_seconds > 0.0
+        assert stats.qps > 0.0
+        assert 0.0 < stats.latency_p50_s <= stats.latency_p95_s
+        assert stats.latency_mean_s > 0.0
+        assert 0.0 <= stats.hicl_cache_hit_rate <= 1.0
+        assert 0.0 <= stats.apl_cache_hit_rate <= 1.0
+        service.reset_stats()
+        assert service.stats().queries == 0
+
+    def test_single_search(self, engine, mixed_requests):
+        service = QueryService(engine)
+        req = mixed_requests[0]
+        resp = service.search(req)
+        run = engine.oatsq if req.order_sensitive else engine.atsq
+        expected = [(r.trajectory_id, r.distance) for r in run(req.query, req.k)]
+        assert [(r.trajectory_id, r.distance) for r in resp.results] == expected
+        assert resp.latency_s > 0.0
+        assert service.stats().queries == 1
+
+    def test_bad_workers_rejected(self, engine):
+        with pytest.raises(ValueError):
+            QueryService(engine, max_workers=0)

@@ -1,5 +1,7 @@
 """Unit tests for the simulated disk."""
 
+import threading
+
 import pytest
 
 from repro.storage.disk import SimulatedDisk
@@ -101,3 +103,77 @@ class TestAccounting:
         assert disk.total_bytes() == 0
         disk.put("k", "x" * 1000)
         assert disk.total_bytes() > 1000
+
+
+class TestPerContextTracking:
+    def test_track_attributes_this_threads_io(self):
+        disk = SimulatedDisk()
+        disk.put("k", [1, 2, 3])
+        with disk.track() as tracker:
+            disk.get("k")
+            disk.get_or_none("missing")
+        assert tracker.reads == 2
+        assert tracker.pages_read == 1  # the miss transfers zero pages
+        # I/O outside the block is not attributed.
+        disk.get("k")
+        assert tracker.reads == 2
+
+    def test_trackers_nest(self):
+        disk = SimulatedDisk()
+        disk.put("k", 1)
+        with disk.track() as outer:
+            disk.get("k")
+            with disk.track() as inner:
+                disk.get("k")
+        assert inner.reads == 1
+        assert outer.reads == 2
+
+    def test_nested_trackers_with_equal_counters_detach_correctly(self):
+        """Regression: DiskStats compares by value, so tracker removal
+        must be by identity — two equal (e.g. both-empty) nested trackers
+        must not alias on exit."""
+        disk = SimulatedDisk()
+        disk.put("k", 1)
+        with disk.track() as outer:
+            with disk.track():
+                pass  # inner exits with counters equal to outer's (all zero)
+            disk.get("k")  # must land on outer, not the discarded inner
+        assert outer.reads == 1
+
+    def test_tracker_counts_writes(self):
+        disk = SimulatedDisk()
+        with disk.track() as tracker:
+            disk.put("k", [1] * 100)
+        assert tracker.writes == 1
+        assert tracker.pages_written >= 1
+
+    def test_concurrent_trackers_do_not_cross_attribute(self):
+        """The seed's snapshot/delta protocol misattributed reads across
+        concurrent queries; per-thread trackers must not."""
+        disk = SimulatedDisk()
+        for i in range(8):
+            disk.put(i, list(range(50)))
+        per_thread = [None] * 8
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait(timeout=30)
+                with disk.track() as tracker:
+                    for _ in range(i + 1):  # thread i does i+1 reads
+                        disk.get(i)
+                per_thread[i] = tracker
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        for i, tracker in enumerate(per_thread):
+            assert tracker.reads == i + 1
+        # The global counters saw everything exactly once.
+        assert disk.stats.reads == sum(i + 1 for i in range(8))

@@ -82,6 +82,43 @@ class TestQuery:
         assert "Dmom" in out
 
 
+class TestQueryBatch:
+    def test_batch_serves_through_query_service(self, dataset_path, capsys):
+        code = main(
+            [
+                "query", str(dataset_path),
+                "--k", "3",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+                "--batch", "6",
+                "--workers", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch of 6 queries" in out
+        assert "QPS" in out
+        assert "cache hit rate" in out
+
+    def test_batch_order_sensitive(self, dataset_path, capsys):
+        code = main(
+            [
+                "query", str(dataset_path),
+                "--k", "2",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+                "--order-sensitive",
+                "--batch", "3",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Dmom" in out
+
+
 class TestSweep:
     def test_k_sweep(self, dataset_path, capsys):
         code = main(

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.bench",
+    "repro.service",
 ]
 
 
@@ -81,3 +82,33 @@ def test_docstring_quickstart_runs():
     )
     results = engine.atsq(q, k=3)
     assert results  # the anchor itself must match
+
+
+def test_docstring_batched_quickstart_runs():
+    """The batched-serving example in repro/__init__.py."""
+    from repro import (
+        GATConfig,
+        GATIndex,
+        GATSearchEngine,
+        Query,
+        QueryService,
+        TrajectoryDatabase,
+    )
+
+    db = TrajectoryDatabase.from_raw(
+        [
+            [(1.0, 1.0, ["brunch", "coffee"]), (2.0, 1.8, ["jazz"])],
+            [(1.1, 0.9, ["brunch"]), (2.1, 1.9, ["cocktails", "jazz"])],
+        ]
+    )
+    engine = GATSearchEngine(GATIndex.build(db, GATConfig(depth=4, memory_levels=3)))
+    q = Query.from_named(db.vocabulary, [(1.0, 1.0, ["brunch"])])
+    service = QueryService(engine, max_workers=4)
+    responses = service.search_many([q, q, q], k=2)
+    assert len(responses) == 3
+    first = [(r.trajectory_id, r.distance) for r in responses[0].results]
+    assert all(
+        [(r.trajectory_id, r.distance) for r in resp.results] == first
+        for resp in responses
+    )
+    assert service.stats().queries == 3
