@@ -19,6 +19,7 @@ import pytest
 from repro.bench.experiments import DEFAULT_K
 from repro.bench.reporting import _render
 from repro.core.engine import GATSearchEngine
+from repro.core.pipeline import APLFilter, MIBFilter, TASFilter
 from repro.index.gat.index import GATIndex
 
 from conftest import bench_gat_config
@@ -87,6 +88,74 @@ def test_tas_reduces_disk_reads(benchmark, gat_index, la_queries):
     _s, _c, reads_with = _run_all(with_tas, la_queries)
     _s, _c, reads_without = _run_all(without, la_queries)
     assert reads_with <= reads_without
+
+
+@pytest.mark.benchmark(group="ablation-filter-chain")
+def test_print_filter_chain_ablation(benchmark, gat_index, la_queries):
+    """Validation-chain compositions for OATSQ, swept as *filter chains*
+    (the pipeline's composition point) rather than engine flags: the
+    paper's TAS → APL → MIB order, each filter dropped, and the
+    APL-before-TAS reordering that pays a disk read for every retrieved
+    candidate.  Results are identical across chains (the DP is the final
+    arbiter); only the work profile moves."""
+    rows = []
+
+    def run():
+        rows.clear()
+        _filter_chain_sweep(rows, gat_index, la_queries)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        _render(
+            "Ablation — validation filter chains (OATSQ, LA)",
+            ["chain", "s/query", "pruned t/a/m", "scored/query", "disk reads/query"],
+            rows,
+        )
+    )
+
+
+def _filter_chain_sweep(rows, gat_index, la_queries):
+    engine = GATSearchEngine(gat_index, apl_cache_size=0)
+    tas = TASFilter(gat_index.sketches)
+    apl = APLFilter(gat_index.apl, None)
+    mib = MIBFilter(gat_index.db)
+    chains = (
+        ("TAS->APL->MIB (paper)", [tas, apl, mib]),
+        ("APL->MIB (no TAS)", [apl, mib]),
+        ("TAS->APL (no MIB)", [tas, apl]),
+        ("APL->TAS->MIB (reordered)", [apl, tas, mib]),
+    )
+    baseline = None
+    for label, chain in chains:
+        engine.index.hicl.clear_cache()
+        t0 = time.perf_counter()
+        pruned = [0, 0, 0]
+        scored = 0
+        reads = 0
+        answers = []
+        for q in la_queries:
+            ctx = engine.execute(q, DEFAULT_K, order_sensitive=True, filters=list(chain))
+            pruned[0] += ctx.stats.tas_pruned
+            pruned[1] += ctx.stats.apl_pruned
+            pruned[2] += ctx.stats.mib_pruned
+            scored += ctx.stats.validated
+            reads += ctx.stats.disk_reads
+            answers.append([(r.trajectory_id, r.distance) for r in ctx.ranked])
+        elapsed = (time.perf_counter() - t0) / len(la_queries)
+        if baseline is None:
+            baseline = answers
+        else:
+            assert answers == baseline, f"chain {label!r} changed the top-k"
+        n = len(la_queries)
+        rows.append(
+            [
+                label,
+                f"{elapsed:.4f}",
+                "/".join(str(p // n) for p in pruned),
+                str(scored // n),
+                str(reads // n),
+            ]
+        )
 
 
 @pytest.mark.benchmark(group="ablation-lambda-sweep")

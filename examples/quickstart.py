@@ -58,9 +58,15 @@ print(f"database: {len(db)} trajectories, {db.n_points()} points, "
 # ----------------------------------------------------------------------
 # 2. Build the GAT index (the paper's defaults are depth=8, memory_levels=6;
 #    a toy database only needs a shallow grid).
+#
+#    The engine scores candidates through the vectorized NumPy kernels
+#    when NumPy is importable (kernel="auto"); pass kernel="scalar" for
+#    the from-the-paper reference implementations — rankings and pruning
+#    counters are identical either way, the vectorized kernel is just
+#    4-7x faster on paper-scale data (see benchmarks/bench_kernel_scoring.py).
 # ----------------------------------------------------------------------
 index = GATIndex.build(db, GATConfig(depth=4, memory_levels=3))
-engine = GATSearchEngine(index)
+engine = GATSearchEngine(index)  # kernel="auto" | "scalar" | "vectorized"
 
 # ----------------------------------------------------------------------
 # 3. The tourist's plan: three locations, each with desired activities.
@@ -118,7 +124,16 @@ for i, resp in enumerate(responses, start=1):
     top = ", ".join(f"Tr{r.trajectory_id}({label}={r.distance:.2f})"
                     for r in resp.results)
     print(f"  request {i}: {top}  [{resp.latency_s * 1000:.2f} ms]")
+
+# The service memoises ranked results by query signature: repeating a
+# request is a pure LRU hit (zero engine work, zero disk reads).  The
+# cache is invalidated automatically when GATIndex.insert_trajectory
+# bumps the index version.
+repeat = service.search(query, k=3)
 svc = service.stats()
+print(f"\nrepeat of request 1: {repeat.stats.rounds} engine rounds "
+      f"(served from the result cache)")
 print(f"service: {svc.queries} queries, {svc.qps:.0f} QPS, "
       f"p95 {svc.latency_p95_s * 1000:.2f} ms, "
-      f"APL cache hit rate {svc.apl_cache_hit_rate:.0%}")
+      f"APL cache hit rate {svc.apl_cache_hit_rate:.0%}, "
+      f"result cache {svc.result_cache_hits}/{svc.result_cache_lookups} hits")

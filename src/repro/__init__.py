@@ -54,6 +54,7 @@ from repro.model import (
     MatrixDistance,
 )
 from repro.core import (
+    EngineConfig,
     ExecutionContext,
     GATSearchEngine,
     MatchEvaluator,
@@ -89,6 +90,7 @@ __all__ = [
     "GATIndex",
     "GATConfig",
     "GATSearchEngine",
+    "EngineConfig",
     "SearchStats",
     "ExecutionContext",
     "QueryService",

@@ -70,6 +70,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--order-sensitive", action="store_true")
     p_query.add_argument("--seed", type=int, default=1)
     p_query.add_argument("--depth", type=int, default=6, help="GAT grid depth")
+    p_query.add_argument(
+        "--kernel",
+        choices=["auto", "scalar", "vectorized"],
+        default="auto",
+        help="scoring kernel: auto (vectorized when numpy is available), "
+        "scalar (the seed oracles), or vectorized",
+    )
     p_query.add_argument("--explain", action="store_true", help="show matched points")
     p_query.add_argument(
         "--batch",
@@ -137,7 +144,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     index = GATIndex.build(
         db, GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
     )
-    engine = GATSearchEngine(index)
+    engine = GATSearchEngine(index, kernel=args.kernel)
     workload = QueryWorkloadGenerator(
         db,
         WorkloadConfig(

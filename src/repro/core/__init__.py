@@ -32,6 +32,7 @@ from repro.core.order_match import (
     order_feasible,
 )
 from repro.core.evaluator import MatchEvaluator
+from repro.core.kernels import HAVE_NUMPY, resolve_kernel
 from repro.core.results import SearchResult, TopKCollector
 from repro.core.context import ExecutionContext, SearchStats
 from repro.core.pipeline import (
@@ -43,7 +44,7 @@ from repro.core.pipeline import (
     TASFilter,
     ValidationStage,
 )
-from repro.core.engine import GATSearchEngine
+from repro.core.engine import EngineConfig, GATSearchEngine
 
 __all__ = [
     "Query",
@@ -55,8 +56,11 @@ __all__ = [
     "matching_index_bounds",
     "order_feasible",
     "MatchEvaluator",
+    "HAVE_NUMPY",
+    "resolve_kernel",
     "SearchResult",
     "TopKCollector",
+    "EngineConfig",
     "GATSearchEngine",
     "SearchStats",
     "ExecutionContext",

@@ -33,10 +33,13 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.core.context import ExecutionContext, SearchStats
 from repro.core.evaluator import MatchEvaluator
+from repro.core.kernels import resolve_kernel
 from repro.core.lower_bound import lower_bound_distance
 from repro.core.match import INFINITY
 from repro.core.pipeline import (
@@ -54,7 +57,61 @@ from repro.index.gat.index import GATIndex
 from repro.model.distance import DistanceMetric
 from repro.storage.cache import CacheStats, LRUCache
 
-__all__ = ["GATSearchEngine", "SearchStats", "ExecutionContext"]
+__all__ = ["EngineConfig", "GATSearchEngine", "SearchStats", "ExecutionContext"]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Immutable engine knobs — search parameters, ablations, and the
+    kernel/I-O strategy switches.
+
+    Attributes
+    ----------
+    retrieval_batch:
+        ``λ`` of Algorithm 1 — minimum *new* candidates per retrieval
+        round.
+    lb_cells:
+        ``m`` of Algorithm 2 — frontier cells per virtual trajectory.
+    use_tas / use_tight_lower_bound:
+        Ablation switches (both on = the paper's design).
+    apl_cache_size:
+        Engine-level LRU over APL posting-list fetches; ``0`` disables.
+    kernel:
+        Scoring kernel: ``'auto'`` (vectorized when NumPy is available),
+        ``'scalar'`` (the seed oracles), or ``'vectorized'``.  Both
+        kernels return the same distances and pruning counters (see
+        :mod:`repro.core.kernels`).
+    batch_io:
+        Fetch all APL posting lists of one validation round in a single
+        :meth:`~repro.index.gat.apl.APLStore.fetch_many` call instead of
+        one fetch per candidate.  Counted reads are identical; only the
+        I/O shape changes.
+    io_workers:
+        When > 0 and *batch_io* is on, the grouped APL read overlaps its
+        per-record simulated-disk latencies on a thread pool of this
+        width (the ROADMAP's thread-offloaded gather).  ``0`` keeps the
+        gather on the calling thread.
+    """
+
+    retrieval_batch: int = 32
+    lb_cells: int = 8
+    use_tas: bool = True
+    use_tight_lower_bound: bool = True
+    apl_cache_size: int = 2048
+    kernel: str = "auto"
+    batch_io: bool = True
+    io_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retrieval_batch < 1:
+            raise ValueError("retrieval_batch (λ) must be >= 1")
+        if self.lb_cells < 1:
+            raise ValueError("lb_cells (m) must be >= 1")
+        if self.apl_cache_size < 0:
+            raise ValueError("apl_cache_size must be >= 0")
+        if self.io_workers < 0:
+            raise ValueError("io_workers must be >= 0")
+        resolve_kernel(self.kernel)  # fail fast on bad/unavailable kernels
 
 
 class GATSearchEngine:
@@ -82,24 +139,43 @@ class GATSearchEngine:
         (hot trajectories skip the counted disk read).  ``0`` disables it,
         restoring the seed behaviour of one APL read per surviving
         candidate per query.
+    config:
+        An :class:`EngineConfig` carrying all of the above plus the
+        ``kernel`` / ``batch_io`` / ``io_workers`` switches; individual
+        keyword arguments override its fields.
+    kernel / batch_io / io_workers:
+        See :class:`EngineConfig`.
     """
 
     def __init__(
         self,
         index: GATIndex,
         metric: Optional[DistanceMetric] = None,
-        retrieval_batch: int = 32,
-        lb_cells: int = 8,
-        use_tas: bool = True,
-        use_tight_lower_bound: bool = True,
-        apl_cache_size: int = 2048,
+        retrieval_batch: Optional[int] = None,
+        lb_cells: Optional[int] = None,
+        use_tas: Optional[bool] = None,
+        use_tight_lower_bound: Optional[bool] = None,
+        apl_cache_size: Optional[int] = None,
+        config: Optional[EngineConfig] = None,
+        kernel: Optional[str] = None,
+        batch_io: Optional[bool] = None,
+        io_workers: Optional[int] = None,
     ) -> None:
-        if retrieval_batch < 1:
-            raise ValueError("retrieval_batch (λ) must be >= 1")
-        if lb_cells < 1:
-            raise ValueError("lb_cells (m) must be >= 1")
-        if apl_cache_size < 0:
-            raise ValueError("apl_cache_size must be >= 0")
+        overrides = {
+            name: value
+            for name, value in (
+                ("retrieval_batch", retrieval_batch),
+                ("lb_cells", lb_cells),
+                ("use_tas", use_tas),
+                ("use_tight_lower_bound", use_tight_lower_bound),
+                ("apl_cache_size", apl_cache_size),
+                ("kernel", kernel),
+                ("batch_io", batch_io),
+                ("io_workers", io_workers),
+            )
+            if value is not None
+        }
+        self.config = replace(config if config is not None else EngineConfig(), **overrides)
         self.index = index
         self.db = index.db
         self.metric = metric
@@ -107,16 +183,21 @@ class GATSearchEngine:
         # computations with the engine's metric.  The engine itself never
         # scores through it — each ExecutionContext gets its own
         # evaluator — so its counters stay at zero under execute().
-        self.evaluator = MatchEvaluator(metric)
-        self.retrieval_batch = retrieval_batch
-        self.lb_cells = lb_cells
-        self.use_tas = use_tas
-        self.use_tight_lower_bound = use_tight_lower_bound
+        self.kernel = resolve_kernel(self.config.kernel)
+        self.evaluator = MatchEvaluator(metric, kernel=self.kernel)
+        self.retrieval_batch = self.config.retrieval_batch
+        self.lb_cells = self.config.lb_cells
+        self.use_tas = self.config.use_tas
+        self.use_tight_lower_bound = self.config.use_tight_lower_bound
         self.apl_cache: Optional[LRUCache] = (
-            LRUCache(apl_cache_size) if apl_cache_size > 0 else None
+            LRUCache(self.config.apl_cache_size)
+            if self.config.apl_cache_size > 0
+            else None
         )
         self._scoring = ScoringStage(self.db)
         self._local = threading.local()
+        self._io_executor: Optional[ThreadPoolExecutor] = None
+        self._io_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Public API
@@ -147,6 +228,31 @@ class GATSearchEngine:
         """Hit/miss accounting of the engine's APL LRU (None if disabled)."""
         return self.apl_cache.stats() if self.apl_cache is not None else None
 
+    def close(self) -> None:
+        """Shut down the lazily created APL-gather thread pool (idempotent;
+        a later query simply recreates it).  Only engines constructed with
+        ``io_workers > 0`` ever own one, but long-running hosts and
+        engine-per-sweep loops should close explicitly rather than rely on
+        interpreter-exit joins."""
+        with self._io_lock:
+            executor, self._io_executor = self._io_executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def _gather_executor(self) -> Optional[ThreadPoolExecutor]:
+        """The shared thread pool for overlapped APL gathers (lazily
+        created; ``None`` when ``io_workers`` is 0)."""
+        if self.config.io_workers <= 0:
+            return None
+        if self._io_executor is None:
+            with self._io_lock:
+                if self._io_executor is None:
+                    self._io_executor = ThreadPoolExecutor(
+                        max_workers=self.config.io_workers,
+                        thread_name_prefix="repro-apl-io",
+                    )
+        return self._io_executor
+
     # ------------------------------------------------------------------
     # Pipeline assembly
     # ------------------------------------------------------------------
@@ -157,7 +263,13 @@ class GATSearchEngine:
         filters: list = []
         if self.use_tas:
             filters.append(TASFilter(self.index.sketches))
-        filters.append(APLFilter(self.index.apl, self.apl_cache))
+        filters.append(
+            APLFilter(
+                self.index.apl,
+                self.apl_cache,
+                executor=self._gather_executor() if self.config.batch_io else None,
+            )
+        )
         if order_sensitive:
             filters.append(MIBFilter(self.db))
         return filters
@@ -181,7 +293,7 @@ class GATSearchEngine:
             k=k,
             order_sensitive=order_sensitive,
             explain=explain,
-            evaluator=MatchEvaluator(self.metric),
+            evaluator=MatchEvaluator(self.metric, kernel=self.kernel),
         )
         validation = ValidationStage(
             self.filter_chain(order_sensitive) if filters is None else filters
@@ -196,13 +308,17 @@ class GATSearchEngine:
                 ctx.stats.rounds += 1
                 new_candidates = retriever.retrieve(self.retrieval_batch)
                 lower = self._lower_bound(query, retriever)
-                for tid in new_candidates:
-                    candidate = Candidate(tid)
-                    if not validation.admit(ctx, candidate):
-                        continue
+                admitted = validation.admit_batch(
+                    ctx,
+                    [Candidate(tid) for tid in new_candidates],
+                    prefetch=self.config.batch_io,
+                )
+                for candidate in admitted:
                     distance = self._scoring.score(ctx, candidate)
                     if distance != INFINITY:
-                        ctx.results.offer(SearchResult(tid, distance))
+                        ctx.results.offer(
+                            SearchResult(candidate.trajectory_id, distance)
+                        )
                 if ctx.results.kth_distance() < lower:
                     break  # no unseen trajectory can beat the current top-k
                 if not new_candidates and retriever.exhausted:

@@ -7,13 +7,32 @@ order-sensitive match distance (Section VI-C)".  :class:`MatchEvaluator` is
 that shared tail — GAT, IL, RT and IRT all call into it, so performance
 differences between searchers are attributable to candidate retrieval and
 pruning alone.
+
+The evaluator now fronts two interchangeable kernels:
+
+* ``'scalar'`` — the seed implementations (Algorithm 3's sorted scan over
+  :class:`~repro.core.match.PointMatchTable`, Algorithm 4's incremental
+  DP), kept verbatim as the correctness oracles;
+* ``'vectorized'`` — :mod:`repro.core.kernels`: one NumPy distance matrix
+  per candidate plus array set-cover/DP scans (the default when NumPy is
+  importable, ``kernel='auto'``).
+
+Both kernels produce the same distances (to the last ulp — see the
+kernels module docstring for the two rounding sources) and bump the same
+counters, so they are swappable under any searcher without moving a
+benchmark's rankings or pruning numbers.  Per-query
+state (the activity→bit maps, the query-side distance precomputation, and
+— scalar path included — the Haversine radians of the query locations) is
+prepared once per query, not once per candidate or per metric call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.core import kernels
+from repro.core.kernels import QueryKernel, dmm_prepared, dmom_prepared, resolve_kernel
 from repro.core.match import (
     INFINITY,
     minimum_point_match,
@@ -25,7 +44,7 @@ from repro.core.order_match import (
     order_feasible,
 )
 from repro.core.query import Query, QueryPoint
-from repro.model.distance import DistanceMetric, EuclideanDistance
+from repro.model.distance import DistanceMetric, EuclideanDistance, prepare_metric
 from repro.model.trajectory import ActivityTrajectory
 
 
@@ -44,11 +63,44 @@ class EvaluatorStats:
 
 
 class MatchEvaluator:
-    """Computes ``Dmm`` / ``Dmom`` / ``Dbm`` for (query, trajectory) pairs."""
+    """Computes ``Dmm`` / ``Dmom`` / ``Dbm`` for (query, trajectory) pairs.
 
-    def __init__(self, metric: Optional[DistanceMetric] = None) -> None:
+    Parameters
+    ----------
+    metric:
+        Distance strategy; defaults to Euclidean.
+    kernel:
+        ``'auto'`` (vectorized when NumPy is available — the default),
+        ``'scalar'``, or ``'vectorized'`` (raises without NumPy).
+    """
+
+    def __init__(
+        self, metric: Optional[DistanceMetric] = None, kernel: str = "auto"
+    ) -> None:
         self.metric: DistanceMetric = metric or EuclideanDistance()
+        self.kernel = resolve_kernel(kernel)
         self.stats = EvaluatorStats()
+        # (query, QueryKernel | None, prepared scalar metric) — rebuilt when
+        # the query object changes.  Stored as one tuple so concurrent use
+        # of a shared evaluator can at worst rebuild redundantly, never mix
+        # one query's preparation with another's.
+        self._qstate: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Per-query preparation
+    # ------------------------------------------------------------------
+    def _state_for(self, query: Query) -> tuple:
+        state = self._qstate
+        if state is None or state[0] is not query:
+            qkernel = (
+                QueryKernel(query, self.metric)
+                if self.kernel == "vectorized"
+                else None
+            )
+            scalar_metric = prepare_metric(self.metric, [q.coord for q in query])
+            state = (query, qkernel, scalar_metric)
+            self._qstate = state
+        return state
 
     # ------------------------------------------------------------------
     # Candidate point sets (the in-memory view of the APL)
@@ -78,9 +130,22 @@ class MatchEvaluator:
         Returns ``inf`` as soon as any query point has no point match.
         """
         self.stats.dmm_evaluations += 1
+        _q, qkernel, metric = self._state_for(query)
+        if qkernel is not None:
+            cand = kernels.prepare_candidate(qkernel, trajectory)
+            if cand is None:
+                return INFINITY
+            return dmm_prepared(qkernel, cand, self.stats)
+        return self._dmm_scalar(query, trajectory, metric)
+
+    def _dmm_scalar(
+        self, query: Query, trajectory: ActivityTrajectory, metric: DistanceMetric
+    ) -> float:
         total = 0.0
         for q in query:
-            d = self.dmpm(q, trajectory)
+            d = minimum_point_match_distance(
+                q.coord, q.activities, self._candidate_points(trajectory, q), metric
+            )
             if d == INFINITY:
                 return INFINITY
             total += d
@@ -89,13 +154,15 @@ class MatchEvaluator:
     def dmm_explained(
         self, query: Query, trajectory: ActivityTrajectory
     ) -> Tuple[float, Tuple[Tuple[int, ...], ...]]:
-        """``Dmm`` plus the matched positions per query point."""
+        """``Dmm`` plus the matched positions per query point (always the
+        scalar tables — reconstruction needs the parent pointers)."""
         self.stats.dmm_evaluations += 1
+        _q, _qk, metric = self._state_for(query)
         total = 0.0
         matches: List[Tuple[int, ...]] = []
         for q in query:
             d, positions = minimum_point_match(
-                q.coord, q.activities, self._candidate_points(trajectory, q), self.metric
+                q.coord, q.activities, self._candidate_points(trajectory, q), metric
             )
             if d == INFINITY:
                 return INFINITY, ()
@@ -117,14 +184,28 @@ class MatchEvaluator:
            whose cheap ``Dmm`` already exceeds the running k-th best
            ``Dmom`` can skip the expensive DP entirely;
         3. the DP's own row-level threshold early-exit (Lemma 4).
+
+        The vectorized kernel prepares the candidate's distance matrix
+        once and reuses it for both the ``Dmm`` gate and the DP.
         """
         self.stats.dmom_evaluations += 1
         if check_order and not order_feasible(trajectory, query):
             return INFINITY
-        lower = self.dmm(query, trajectory)
+        _q, qkernel, metric = self._state_for(query)
+        if qkernel is not None:
+            cand = kernels.prepare_candidate(qkernel, trajectory)
+            self.stats.dmm_evaluations += 1  # the gate is a Dmm evaluation
+            if cand is None:
+                return INFINITY
+            lower = dmm_prepared(qkernel, cand, self.stats)
+            if lower == INFINITY or lower > threshold:
+                return INFINITY
+            return dmom_prepared(qkernel, cand, threshold)
+        self.stats.dmm_evaluations += 1
+        lower = self._dmm_scalar(query, trajectory, metric)
         if lower == INFINITY or lower > threshold:
             return INFINITY
-        return minimum_order_match_distance(query, trajectory, self.metric, threshold)
+        return minimum_order_match_distance(query, trajectory, metric, threshold)
 
     def dmom_explained(
         self, query: Query, trajectory: ActivityTrajectory
@@ -133,13 +214,15 @@ class MatchEvaluator:
         self.stats.dmom_evaluations += 1
         if not order_feasible(trajectory, query):
             return INFINITY, ()
-        return minimum_order_match(query, trajectory, self.metric)
+        _q, _qk, metric = self._state_for(query)
+        return minimum_order_match(query, trajectory, metric)
 
     def best_match_distance(self, query: Query, trajectory: ActivityTrajectory) -> float:
         """``Dbm(Q, Tr)`` — the activity-blind best match distance of the
         RT baseline (Section III-B): sum over query points of the distance
         to the nearest trajectory point.  Lower-bounds ``Dmm`` (Lemma 2)."""
+        _q, _qk, metric = self._state_for(query)
         total = 0.0
         for q in query:
-            total += min(self.metric(q.coord, p.coord) for p in trajectory)
+            total += min(metric(q.coord, p.coord) for p in trajectory)
         return total

@@ -1,0 +1,346 @@
+"""Vectorized scoring kernels — NumPy distance matrices feeding array DPs.
+
+The scalar hot path of the engine spends almost all of its time inside
+Algorithm 3's minimum-point-match and Algorithm 4's order-sensitive DP:
+profiling one cold-cache mixed workload shows >95% of query latency in
+per-point ``DistanceMetric`` calls and per-``(i, j, k)``
+:class:`~repro.core.match.PointMatchTable` updates.  This module replaces
+both with a *prepare once, scan arrays* scheme:
+
+1. :class:`QueryKernel` precomputes the per-query-point activity→bit
+   assignment and the query-side halves of the distance formula (planar
+   coordinates for Euclidean, radians + cosines for Haversine — computed
+   once per query instead of once per metric call).
+2. :func:`prepare_candidate` computes, per surviving candidate, the full
+   ``|Q| x |rel(Tr)|`` query-point→trajectory-point distance matrix in one
+   vectorized NumPy call (``rel(Tr)`` being the points carrying at least
+   one query activity — exactly the sub-sequence the compressed scalar DP
+   runs over), plus the per-query-point activity-overlap bitmask of every
+   relevant point, built from the posting lists.
+3. :func:`dmm_prepared` / :func:`dmom_prepared` run the combinatorics over
+   those arrays: the set-cover of Algorithm 3 becomes an in-place DP over
+   ``2^|q.Φ|`` floats (|q.Φ| ≤ 5 in the paper), and Algorithm 4's row
+   recurrence collapses from O(n²) incremental table rebuilds to a single
+   O(n · 2^|q.Φ|) left-to-right scan (see :func:`dmom_prepared`).
+
+Exactness
+---------
+The scalar implementations in :mod:`repro.core.match` and
+:mod:`repro.core.order_match` are kept untouched as oracles; the
+property-based suite (``tests/property/test_kernel_parity.py``) checks the
+kernels against them on randomized inputs.  The combinatorics are
+float-identical by construction: given the same distances, the cover DP
+performs the same additions in the same order as ``PointMatchTable``
+(each entry is ``best(remainder) + dist``).  Two last-ulp (≲2e-16
+relative) discrepancy sources remain: NumPy's elementwise ``hypot``/trig
+can round differently from ``libm``'s on ~0.5% of inputs, and the
+``Dmom`` row scan folds multi-point cover sums in ascending-position
+instead of descending-position order.  Neither moves a ranking or a
+pruning counter except on exact distance ties, which the engine-level
+parity suite checks never happens on real workloads (ids and counters
+are compared exactly, distances to 1e-9 relative).
+
+NumPy is optional: ``kernel='auto'`` silently degrades to the scalar path
+when it is missing, ``kernel='vectorized'`` raises loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.distance import (
+    DistanceMetric,
+    EuclideanDistance,
+    HaversineDistance,
+    euclidean_matrix,
+    haversine_matrix,
+)
+
+try:  # pragma: no cover - exercised implicitly by every kernel test
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+INFINITY = math.inf
+
+KERNELS = ("auto", "scalar", "vectorized")
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Map a kernel request to the concrete implementation to run.
+
+    ``'auto'`` picks ``'vectorized'`` when NumPy is importable and
+    ``'scalar'`` otherwise; asking for ``'vectorized'`` without NumPy is an
+    error (silent fallback would invalidate benchmark claims).
+    """
+    if kernel == "auto":
+        return "vectorized" if HAVE_NUMPY else "scalar"
+    if kernel == "vectorized" and not HAVE_NUMPY:
+        raise ValueError("kernel='vectorized' requires numpy (use 'auto' or 'scalar')")
+    if kernel not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Array set-cover — the kernel equivalent of PointMatchTable
+# ----------------------------------------------------------------------
+def min_cover_cost(entries: Sequence[Tuple[float, int]], n_bits: int) -> float:
+    """Exact min-cost set cover over ``(dist, mask)`` entries.
+
+    ``dp[t]`` is the cheapest cost of a point set whose mask union covers
+    ``t``; folding one entry in performs exactly the additions
+    ``dp[t & ~mask] + dist`` that :class:`~repro.core.match.PointMatchTable`
+    performs (best remainder plus the new distance), so the result is
+    bit-identical to adding the same entries to a table in the same order.
+    """
+    full = (1 << n_bits) - 1
+    dp = [INFINITY] * (full + 1)
+    dp[0] = 0.0
+    for dist, pm in entries:
+        if not pm:
+            continue
+        for t in range(1, full + 1):
+            if t & pm:
+                v = dp[t & ~pm] + dist
+                if v < dp[t]:
+                    dp[t] = v
+    return dp[full]
+
+
+def _mpm_scan(
+    row: List[float], mrow: List[int], order: Sequence[int], n_bits: int
+) -> float:
+    """Algorithm 3 over precomputed arrays: ascending-distance scan with the
+    paper's early termination (stop as soon as the best full cover is at
+    most the next unprocessed point's distance)."""
+    full = (1 << n_bits) - 1
+    dp = [INFINITY] * (full + 1)
+    dp[0] = 0.0
+    best = INFINITY
+    for c in order:
+        d = row[c]
+        if best <= d:
+            break
+        pm = mrow[c]
+        for t in range(1, full + 1):
+            if t & pm:
+                v = dp[t & ~pm] + d
+                if v < dp[t]:
+                    dp[t] = v
+        best = dp[full]
+    return best
+
+
+# ----------------------------------------------------------------------
+# Per-query preparation
+# ----------------------------------------------------------------------
+class QueryKernel:
+    """Query-side precomputation shared by every candidate of one query.
+
+    Holds the per-query-point bit assignment (same iteration order as
+    ``PointMatchTable`` uses, so masks are comparable in tests) and the
+    query half of the vectorized distance formula.  Metrics other than
+    Euclidean/Haversine fall back to per-pair Python calls — still through
+    one matrix, so the combinatorial kernels stay identical.
+    """
+
+    __slots__ = ("query", "m", "n_bits", "bit_values", "metric", "_mode", "_q0", "_q1", "_q2")
+
+    def __init__(self, query, metric: DistanceMetric) -> None:
+        self.query = query
+        self.m = len(query)
+        self.metric = metric
+        self.n_bits: List[int] = []
+        self.bit_values: List[Dict[int, int]] = []
+        for q in query:
+            activities = list(dict.fromkeys(q.activities))
+            self.n_bits.append(len(activities))
+            self.bit_values.append({a: 1 << i for i, a in enumerate(activities)})
+
+        if not HAVE_NUMPY:
+            raise RuntimeError("QueryKernel requires numpy")
+        xs = _np.array([q.x for q in query], dtype=float)
+        ys = _np.array([q.y for q in query], dtype=float)
+        if type(metric) is EuclideanDistance:
+            self._mode = "euclidean"
+            self._q0, self._q1, self._q2 = xs, ys, None
+        elif type(metric) is HaversineDistance:
+            self._mode = "haversine"
+            lon = _np.radians(xs)
+            lat = _np.radians(ys)
+            self._q0, self._q1, self._q2 = lon, lat, _np.cos(lat)
+        else:
+            self._mode = "generic"
+            self._q0 = self._q1 = self._q2 = None
+
+    def distance_rows(self, trajectory, positions: List[int]) -> List[List[float]]:
+        """The ``|Q| x len(positions)`` distance matrix, as Python rows
+        (list indexing is what the scan loops do; one ``tolist`` beats a
+        million boxed NumPy scalar reads)."""
+        if self._mode == "generic":
+            pts = trajectory.points
+            metric = self.metric
+            coords = [pts[p].coord for p in positions]
+            return [[metric(q.coord, c) for c in coords] for q in self.query]
+        sub = trajectory.coord_array()[positions]
+        px = sub[:, 0]
+        py = sub[:, 1]
+        if self._mode == "euclidean":
+            matrix = euclidean_matrix(self._q0, self._q1, px, py)
+        else:
+            matrix = haversine_matrix(
+                self._q0, self._q1, self._q2, _np.radians(px), _np.radians(py)
+            )
+        return matrix.tolist()
+
+
+class CandidateArrays:
+    """Everything the kernels need about one (query, trajectory) pair."""
+
+    __slots__ = ("positions", "dist_rows", "mask_rows")
+
+    def __init__(
+        self,
+        positions: List[int],
+        dist_rows: List[List[float]],
+        mask_rows: List[List[int]],
+    ) -> None:
+        self.positions = positions
+        self.dist_rows = dist_rows
+        self.mask_rows = mask_rows
+
+
+def prepare_candidate(qk: QueryKernel, trajectory) -> Optional[CandidateArrays]:
+    """Build the distance matrix and overlap masks for one candidate.
+
+    Relevant positions are the union of the trajectory's posting lists over
+    all query activities — the same compressed sub-sequence the scalar DP
+    runs over (:func:`repro.core.order_match.relevant_points`).  Returns
+    ``None`` when the trajectory carries no query activity at all.
+    """
+    posting = trajectory.posting_lists
+    pos_set: set = set()
+    for activity in qk.query.all_activities:
+        ps = posting.get(activity)
+        if ps:
+            pos_set.update(ps)
+    if not pos_set:
+        return None
+    positions = sorted(pos_set)
+    col_of = {p: c for c, p in enumerate(positions)}
+    n = len(positions)
+
+    dist_rows = qk.distance_rows(trajectory, positions)
+
+    mask_rows: List[List[int]] = []
+    for bit_values in qk.bit_values:
+        mrow = [0] * n
+        for activity, bit in bit_values.items():
+            ps = posting.get(activity)
+            if ps:
+                for p in ps:
+                    mrow[col_of[p]] |= bit
+        mask_rows.append(mrow)
+    return CandidateArrays(positions, dist_rows, mask_rows)
+
+
+# ----------------------------------------------------------------------
+# Dmm — Lemma 1 over the prepared arrays
+# ----------------------------------------------------------------------
+def dmm_prepared(qk: QueryKernel, cand: CandidateArrays, stats=None) -> float:
+    """``Dmm(Q, Tr)``: per-query-point Algorithm 3 over the distance rows.
+
+    Single-activity query points (the common case) reduce to a plain
+    ``min`` over the candidate columns — no cover DP at all.
+    """
+    total = 0.0
+    for i in range(qk.m):
+        row = cand.dist_rows[i]
+        mrow = cand.mask_rows[i]
+        cols = [c for c, pm in enumerate(mrow) if pm]
+        if stats is not None:
+            stats.point_match_points += len(cols)
+        if not cols:
+            return INFINITY
+        if qk.n_bits[i] == 1:
+            d = min(row[c] for c in cols)
+        else:
+            # Stable sort on distance keeps equal-distance columns in
+            # ascending position order — the scalar (dist, pos) tie-break.
+            order = sorted(cols, key=row.__getitem__)
+            d = _mpm_scan(row, mrow, order, qk.n_bits[i])
+        if d == INFINITY:
+            return INFINITY
+        total += d
+    return total
+
+
+# ----------------------------------------------------------------------
+# Dmom — Algorithm 4 as a single left-to-right scan per row
+# ----------------------------------------------------------------------
+def dmom_prepared(
+    qk: QueryKernel, cand: CandidateArrays, threshold: float = INFINITY
+) -> float:
+    """``Dmom(Q, Tr)`` over the prepared arrays.
+
+    The scalar Algorithm 4 evaluates ``G(i, j) = min_k G(i-1, k) +
+    Dmpm(q_i, Tr[k, j])`` by rebuilding an incremental point-match table
+    per cell — O(n²) table updates per row.  Here each row is one O(n·2^b)
+    scan: ``A[t]`` is the cheapest ``G(i-1, k) + (cover of mask t by
+    points k..j)`` over all segment starts ``k ≤ j``.  Folding point ``j``
+    in updates ``A[0]`` with ``G(i-1, j)`` (the empty cover can start a
+    new segment at ``j``) and then relaxes ``A[t] ← A[t & ~mask_j] + d_j``
+    in ascending mask order; ``G(i, j)`` is ``A[full]`` after the fold.
+    This is the same min-cost-cover relaxation as the table (a point used
+    twice can never beat using it once, costs being non-negative), with
+    the segment base folded into ``A[0]`` as a running prefix minimum.
+
+    The paper's row-level threshold early-exit (Lemma 4) is preserved:
+    when a finished row's last entry exceeds *threshold* the candidate can
+    never beat the current k-th best, and the scan aborts.
+    """
+    n = len(cand.positions)
+    prev = [0.0] * (n + 1)  # G(0, *) = 0 — guardian row
+    for i in range(qk.m):
+        row = cand.dist_rows[i]
+        mrow = cand.mask_rows[i]
+        cur = [INFINITY] * (n + 1)
+        if qk.n_bits[i] == 1:
+            # Covers are single points: A collapses to (prefix-min of
+            # prev, best value so far).
+            a0 = INFINITY
+            best = INFINITY
+            for j in range(1, n + 1):
+                pj = prev[j]
+                if pj < a0:
+                    a0 = pj
+                if mrow[j - 1]:
+                    v = a0 + row[j - 1]
+                    if v < best:
+                        best = v
+                cur[j] = best
+        else:
+            size = 1 << qk.n_bits[i]
+            full = size - 1
+            a = [INFINITY] * size
+            for j in range(1, n + 1):
+                pj = prev[j]
+                if pj < a[0]:
+                    a[0] = pj
+                pm = mrow[j - 1]
+                if pm:
+                    d = row[j - 1]
+                    for t in range(1, size):
+                        if t & pm:
+                            v = a[t & ~pm] + d
+                            if v < a[t]:
+                                a[t] = v
+                cur[j] = a[full]
+        if cur[n] > threshold:
+            return INFINITY
+        prev = cur
+    return prev[n]

@@ -29,7 +29,8 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Tuple
 
-from repro.core.match import INFINITY, PointMatchTable
+from repro.core.kernels import min_cover_cost
+from repro.core.match import INFINITY
 from repro.core.query import Query
 from repro.index.gat.hicl import HICL
 
@@ -103,12 +104,22 @@ def lower_bound_distance(
         frontier = frontiers[qi]
         if not frontier:
             return INFINITY  # no unseen trajectory can match q_i at all
-        table = PointMatchTable(q.activities)
+        # The virtual trajectory's point match, via the kernel set-cover
+        # (identical values to a PointMatchTable fed the same entries).
+        activities = list(dict.fromkeys(q.activities))
+        bit_of = {a: 1 << i for i, a in enumerate(activities)}
+        entries: List[Tuple[float, int]] = []
         for mdist, level, code in frontier.nearest(m):
             overlap = hicl.cell_activity_overlap(code, q.activities, level)
             if overlap:
-                table.add(table.overlap_mask(overlap), mdist)
-        contribution = min(table.best(), frontier.mth_distance(m))
+                mask = 0
+                for a in overlap:
+                    bit = bit_of.get(a)
+                    if bit is not None:
+                        mask |= bit
+                entries.append((mdist, mask))
+        cover = min_cover_cost(entries, len(activities))
+        contribution = min(cover, frontier.mth_distance(m))
         if contribution == INFINITY:
             return INFINITY
         total += contribution

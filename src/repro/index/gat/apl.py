@@ -70,6 +70,44 @@ class APLStore:
             trajectory_id, lambda: self.fetch(trajectory_id)
         )
 
+    _MISS = object()
+
+    def fetch_many(
+        self,
+        trajectory_ids: Iterable[int],
+        cache: Optional[LRUCache] = None,
+        executor=None,
+    ) -> Dict[int, PostingLists]:
+        """Fetch a whole validation round's posting lists in one call.
+
+        One pass over *cache* splits the round into hits and misses, the
+        misses go to the simulated disk as a single grouped read
+        (:meth:`SimulatedDisk.get_many` — optionally overlapped on
+        *executor*), and the fresh records are cached.  Counted reads and
+        cache hit/miss accounting are identical to fetching each
+        trajectory individually; only the wall-clock shape of the I/O
+        changes.
+        """
+        out: Dict[int, PostingLists] = {}
+        missing: list[int] = []
+        miss = self._MISS
+        for tid in dict.fromkeys(trajectory_ids):
+            if cache is not None:
+                value = cache.get(tid, miss)
+                if value is not miss:
+                    out[tid] = value
+                    continue
+            missing.append(tid)
+        if missing:
+            values = self.disk.get_many(
+                [("apl", tid) for tid in missing], executor=executor
+            )
+            for tid, value in zip(missing, values):
+                out[tid] = value
+                if cache is not None:
+                    cache.put(tid, value)
+        return out
+
     def __contains__(self, trajectory_id: int) -> bool:
         return trajectory_id in self._known
 

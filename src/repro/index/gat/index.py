@@ -60,6 +60,11 @@ class GATIndex:
         self.apl = apl
         self.config = config
         self.disk = disk
+        #: Monotone mutation counter — bumped by every
+        #: :meth:`insert_trajectory` so result caches keyed on query
+        #: signatures (:class:`repro.service.QueryService`) can detect
+        #: that their entries may be stale and drop them.
+        self.version = 0
 
     @classmethod
     def build(
@@ -124,6 +129,7 @@ class GATIndex:
             trajectory.activity_union, self.config.sketch_intervals
         )
         self.apl.store(trajectory)
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Sizing (Figure 8's memory-cost series)

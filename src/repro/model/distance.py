@@ -53,8 +53,101 @@ class HaversineDistance:
         h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
         return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
 
+    def prepare(self, coords: Sequence[Coord]) -> "PreparedHaversine":
+        """A drop-in metric with the radian conversion of *coords* (the
+        query locations) done once up front — see :class:`PreparedHaversine`."""
+        return PreparedHaversine(coords)
+
     def __repr__(self) -> str:  # pragma: no cover
         return "HaversineDistance()"
+
+
+class PreparedHaversine:
+    """:class:`HaversineDistance` with the first argument's radian
+    conversion hoisted out of the per-call path.
+
+    Algorithm 3 and the order-sensitive DP call the metric with the *same*
+    handful of query coordinates millions of times per workload; the seed
+    implementation re-converted them (and re-took ``cos(lat)``) on every
+    call.  :meth:`HaversineDistance.prepare` builds one of these per query
+    (the engine does it once per :class:`~repro.core.context.ExecutionContext`),
+    mapping each known first-argument coordinate to its precomputed
+    ``(lon_rad, lat_rad, cos_lat)``.  The arithmetic on the precomputed
+    values is exactly the sequence the plain metric performs, so results
+    are bit-identical; unknown first arguments fall back to converting on
+    the fly, keeping the wrapper a drop-in :class:`DistanceMetric`.
+    """
+
+    __slots__ = ("_prepared",)
+
+    def __init__(self, coords: Sequence[Coord]) -> None:
+        self._prepared = {}
+        for coord in coords:
+            lon_rad = math.radians(coord[0])
+            lat_rad = math.radians(coord[1])
+            self._prepared[coord] = (lon_rad, lat_rad, math.cos(lat_rad))
+
+    def __call__(self, a: Coord, b: Coord) -> float:
+        pre = self._prepared.get(a)
+        if pre is None:
+            lon1 = math.radians(a[0])
+            lat1 = math.radians(a[1])
+            cos1 = math.cos(lat1)
+        else:
+            lon1, lat1, cos1 = pre
+        lon2, lat2 = map(math.radians, b)
+        dlat = lat2 - lat1
+        dlon = lon2 - lon1
+        h = math.sin(dlat / 2.0) ** 2 + cos1 * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+        return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PreparedHaversine({len(self._prepared)} coords)"
+
+
+def prepare_metric(metric: DistanceMetric, coords: Sequence[Coord]) -> DistanceMetric:
+    """Per-query metric preparation hook.
+
+    Haversine gets its query-side radians precomputed (bit-identical, see
+    :class:`PreparedHaversine`); every other metric is returned unchanged.
+    """
+    if type(metric) is HaversineDistance:
+        return PreparedHaversine(coords)
+    return metric
+
+
+# ----------------------------------------------------------------------
+# NumPy fast paths (used by repro.core.kernels; numpy imported lazily so
+# the scalar library keeps working without it)
+# ----------------------------------------------------------------------
+def euclidean_matrix(qx, qy, px, py):
+    """Pairwise planar distances: rows = query points, columns = points.
+
+    ``np.hypot`` agrees with ``math.hypot`` to the last ulp (its
+    elementwise loop can round differently on a fraction of inputs), so
+    each entry matches ``EuclideanDistance()(q, p)`` to ≲2e-16 relative.
+    """
+    import numpy as np
+
+    return np.hypot(qx[:, None] - px[None, :], qy[:, None] - py[None, :])
+
+
+def haversine_matrix(qlon_rad, qlat_rad, qcos_lat, plon_rad, plat_rad):
+    """Pairwise great-circle km over *radian* inputs (query radians are
+    precomputed once per query by the kernel layer).
+
+    Same formula as :class:`HaversineDistance`; NumPy's transcendentals may
+    differ from ``libm`` in the last ulp, which the parity suite bounds.
+    """
+    import numpy as np
+
+    dlat = plat_rad[None, :] - qlat_rad[:, None]
+    dlon = plon_rad[None, :] - qlon_rad[:, None]
+    h = (
+        np.sin(dlat / 2.0) ** 2
+        + qcos_lat[:, None] * np.cos(plat_rad)[None, :] * np.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(h)))
 
 
 class MatrixDistance:

@@ -25,7 +25,7 @@ class ActivityTrajectory:
     ``Tr[i, j]`` 1-based; tests that mirror paper examples translate.)
     """
 
-    __slots__ = ("trajectory_id", "points", "_activity_union", "_posting_lists")
+    __slots__ = ("trajectory_id", "points", "_activity_union", "_posting_lists", "_coord_array")
 
     def __init__(self, trajectory_id: int, points: Sequence[TrajectoryPoint]) -> None:
         if not points:
@@ -34,6 +34,7 @@ class ActivityTrajectory:
         self.points: Tuple[TrajectoryPoint, ...] = tuple(points)
         self._activity_union: FrozenSet[int] | None = None
         self._posting_lists: Dict[int, Tuple[int, ...]] | None = None
+        self._coord_array = None
 
     # ------------------------------------------------------------------
     # Basic sequence protocol
@@ -78,6 +79,22 @@ class ActivityTrajectory:
                     lists.setdefault(activity, []).append(pos)
             self._posting_lists = {a: tuple(ps) for a, ps in lists.items()}
         return self._posting_lists
+
+    def coord_array(self):
+        """Cached ``(n, 2)`` float64 coordinate matrix (requires NumPy).
+
+        Built lazily by the vectorized scoring kernels; like the other
+        derived structures it treats the trajectory as immutable, and a
+        benign double-compute is the worst a concurrent first access can
+        do.
+        """
+        if self._coord_array is None:
+            import numpy as np
+
+            self._coord_array = np.array(
+                [(p.x, p.y) for p in self.points], dtype=float
+            )
+        return self._coord_array
 
     def positions_of(self, activity: int) -> Tuple[int, ...]:
         """Positions of the points containing *activity* (possibly empty)."""

@@ -11,6 +11,13 @@ every worker warms the same caches.
 request ``i`` regardless of which worker finished first, making batched
 output bitwise-comparable with a sequential loop.
 
+Repeated requests are memoised in a **query-signature result cache**
+keyed by ``(query points, k, order_sensitive, explain)``: a hot signature
+costs one LRU lookup instead of a full index search.  The cache is
+invalidated wholesale when the index's mutation counter moves
+(``GATIndex.insert_trajectory``), so a quiesce-insert-resume cycle can
+never serve pre-insert rankings.
+
 Python threads still contend on the GIL for pure-Python compute, so the
 throughput win comes from overlapping the simulated-disk latency and from
 cache sharing; with a zero-latency disk the batched path is exercised for
@@ -32,7 +39,7 @@ from repro.core.context import SearchStats
 from repro.core.engine import GATSearchEngine
 from repro.core.query import Query
 from repro.core.results import SearchResult
-from repro.storage.cache import CacheStats
+from repro.storage.cache import CacheStats, LRUCache
 
 #: Latency percentiles are computed over the most recent window of
 #: queries; a long-lived service must not hoard one float per query
@@ -83,10 +90,20 @@ class ServiceStats:
     hicl_cache_hit_rate: float = 0.0
     apl_cache_hit_rate: float = 0.0
     disk_reads: int = 0
+    result_cache_hits: int = 0
+    result_cache_lookups: int = 0
 
     @property
     def qps(self) -> float:
         return self.queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        """Fraction of requests answered straight from the result cache
+        (0.0 when the cache is disabled or untouched)."""
+        if self.result_cache_lookups <= 0:
+            return 0.0
+        return self.result_cache_hits / self.result_cache_lookups
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -106,13 +123,37 @@ class QueryService:
         The (stateless) search engine; shared by every worker thread.
     max_workers:
         Default thread-pool width for :meth:`search_many`.
+    result_cache_size:
+        Capacity of the query-signature result cache: identical requests
+        — same query points, ``k``, ``order_sensitive`` and ``explain`` —
+        are answered from a thread-safe LRU without touching the engine.
+        Entries are invalidated wholesale whenever
+        :meth:`~repro.index.gat.index.GATIndex.insert_trajectory` bumps
+        the index's version counter (inserts must still quiesce the
+        service, as the index requires).  ``0`` disables the cache.
     """
 
-    def __init__(self, engine: GATSearchEngine, max_workers: int = 8) -> None:
+    #: Sentinel distinguishing "cached empty result" from "cache miss".
+    _MISS = object()
+
+    def __init__(
+        self,
+        engine: GATSearchEngine,
+        max_workers: int = 8,
+        result_cache_size: int = 1024,
+    ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")
         self.engine = engine
         self.max_workers = max_workers
+        self._result_cache: Optional[LRUCache] = (
+            LRUCache(result_cache_size) if result_cache_size > 0 else None
+        )
+        self._index_version = engine.index.version
+        self._result_hits = 0
+        self._result_lookups = 0
         # One pool for the service's lifetime — per-batch pool setup and
         # teardown would rival the query work for small batches.  Created
         # lazily so a sequential-only service never spawns threads.
@@ -133,16 +174,70 @@ class QueryService:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+    @staticmethod
+    def _cache_key(request: QueryRequest) -> tuple:
+        """The query signature: the (hashable, frozen) query points plus
+        every option that changes the answer."""
+        return (
+            request.query.points,
+            request.k,
+            request.order_sensitive,
+            request.explain,
+        )
+
+    def _check_cache_version(self) -> None:
+        """Drop every cached result when the index has been mutated since
+        the last check (insert_trajectory bumps ``index.version``)."""
+        version = self.engine.index.version
+        if version != self._index_version:
+            with self._lock:
+                if version != self._index_version:
+                    self._result_cache.clear()
+                    self._index_version = version
+
     def _run_one(self, request: QueryRequest) -> QueryResponse:
+        cache = self._result_cache
+        key = None
+        looked_up_version = None
+        if cache is not None:
+            self._check_cache_version()
+            looked_up_version = self._index_version
+            key = self._cache_key(request)
+            t0 = time.perf_counter()
+            cached = cache.get(key, self._MISS)
+            hit = cached is not self._MISS
+            with self._lock:
+                self._result_lookups += 1
+                if hit:
+                    self._result_hits += 1
+            if hit:
+                # A fresh list per response (callers may mutate), zeroed
+                # counters (no engine work happened).
+                return QueryResponse(
+                    request=request,
+                    results=list(cached),
+                    stats=SearchStats(),
+                    latency_s=time.perf_counter() - t0,
+                )
         ctx = self.engine.execute(
             request.query,
             request.k,
             order_sensitive=request.order_sensitive,
             explain=request.explain,
         )
+        results = ctx.ranked if ctx.ranked is not None else []
+        if cache is not None:
+            # Version-guarded put: an insert that landed while this query
+            # executed must not let pre-insert rankings be re-cached after
+            # the invalidation sweep.  _check_cache_version clears + bumps
+            # under the same lock, so the equality check linearises the
+            # put against the sweep.
+            with self._lock:
+                if self._index_version == looked_up_version:
+                    cache.put(key, tuple(results))
         return QueryResponse(
             request=request,
-            results=ctx.ranked if ctx.ranked is not None else [],
+            results=results,
             stats=ctx.stats,
             latency_s=ctx.latency_s,
         )
@@ -268,6 +363,8 @@ class QueryService:
             wall = self._wall_seconds
             disk_reads = self._disk_reads
             hicl_base, apl_base = self._hicl_base, self._apl_base
+            result_hits = self._result_hits
+            result_lookups = self._result_lookups
         return ServiceStats(
             queries=n_queries,
             wall_seconds=wall,
@@ -281,6 +378,8 @@ class QueryService:
                 self.engine.apl_cache_stats(), apl_base
             ),
             disk_reads=disk_reads,
+            result_cache_hits=result_hits,
+            result_cache_lookups=result_lookups,
         )
 
     def reset_stats(self) -> None:
@@ -292,5 +391,7 @@ class QueryService:
             self._latency_sum = 0.0
             self._wall_seconds = 0.0
             self._disk_reads = 0
+            self._result_hits = 0
+            self._result_lookups = 0
             self._hicl_base = self.engine.index.hicl.cache_stats()
             self._apl_base = self.engine.apl_cache_stats()

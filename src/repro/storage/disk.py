@@ -180,6 +180,33 @@ class SimulatedDisk:
             time.sleep(self.read_latency_s)
         return deserialize_obj(record.payload)
 
+    def get_many(self, keys: List[Hashable], executor=None) -> List[Any]:
+        """Load several keys as one grouped I/O round.
+
+        Accounting is identical to ``len(keys)`` individual :meth:`get`
+        calls — every read is counted, *on the calling thread*, so
+        per-query :meth:`track` attribution keeps working even when the
+        latency is overlapped.  With an *executor*, the per-read latencies
+        are served concurrently (wall time ≈ ``ceil(n / workers) *
+        read_latency_s`` — the thread-offloaded gather); without one the
+        latencies are paid back to back, exactly like sequential gets.
+
+        Raises
+        ------
+        KeyError
+            If any key was never stored (before any latency is paid).
+        """
+        records = [self._records[key] for key in keys]
+        for record in records:
+            self._account_read(record.n_pages, len(record.payload))
+        if self.read_latency_s > 0.0 and records:
+            if executor is not None and len(records) > 1:
+                delay = self.read_latency_s
+                list(executor.map(lambda _r: time.sleep(delay), records))
+            else:
+                time.sleep(self.read_latency_s * len(records))
+        return [deserialize_obj(record.payload) for record in records]
+
     def get_or_none(self, key: Hashable) -> Optional[Any]:
         """Like :meth:`get` but returns ``None`` for a missing key.
 

@@ -1,0 +1,116 @@
+"""Engine-level kernel and batched-I/O parity.
+
+The `EngineConfig.kernel` switch and the `batch_io` fetch path must be
+invisible in everything a query returns: same top-k ids in the same
+order, distances to the last ulp, and every :class:`SearchStats` counter
+— including disk reads — exactly equal.
+"""
+
+import math
+from dataclasses import fields
+
+import pytest
+
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.core.engine import EngineConfig, GATSearchEngine
+from repro.core.kernels import HAVE_NUMPY
+from repro.index.gat.index import GATConfig, GATIndex
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture(scope="module")
+def index(small_db):
+    return GATIndex.build(small_db, GATConfig(depth=5, memory_levels=4))
+
+
+@pytest.fixture(scope="module")
+def queries(small_db):
+    gen = QueryWorkloadGenerator(
+        small_db, WorkloadConfig(n_query_points=3, n_activities_per_point=2, seed=17)
+    )
+    return gen.queries(8)
+
+
+def _stat_dict(stats):
+    return {f.name: getattr(stats, f.name) for f in fields(stats)}
+
+
+def _run(index, queries, **kwargs):
+    engine = GATSearchEngine(index, apl_cache_size=0, **kwargs)
+    answers, stats = [], []
+    for i, q in enumerate(queries):
+        index.hicl.clear_cache()
+        ctx = engine.execute(q, 5, order_sensitive=(i % 2 == 1))
+        answers.append([(r.trajectory_id, r.distance) for r in ctx.ranked])
+        stats.append(_stat_dict(ctx.stats))
+    return answers, stats
+
+
+def _assert_answer_parity(a, b):
+    assert [[t for t, _ in q] for q in a] == [[t for t, _ in q] for q in b]
+    for qa, qb in zip(a, b):
+        for (_, da), (_, db) in zip(qa, qb):
+            assert math.isclose(da, db, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+class TestKernelParity:
+    def test_scalar_vs_vectorized(self, index, queries):
+        scalar_ans, scalar_stats = _run(index, queries, kernel="scalar")
+        vector_ans, vector_stats = _run(index, queries, kernel="vectorized")
+        _assert_answer_parity(scalar_ans, vector_ans)
+        assert scalar_stats == vector_stats
+
+    def test_batch_io_is_invisible(self, index, queries):
+        on_ans, on_stats = _run(index, queries, batch_io=True)
+        off_ans, off_stats = _run(index, queries, batch_io=False)
+        assert on_ans == off_ans  # same kernel → bitwise identical
+        assert on_stats == off_stats
+
+    def test_thread_offloaded_gather_parity(self, small_db, queries):
+        """io_workers changes only the wall-clock shape of the round's
+        APL reads; answers and per-query I/O attribution are unchanged."""
+        disk = SimulatedDisk(read_latency_s=0.0)
+        index = GATIndex.build(small_db, GATConfig(depth=5, memory_levels=4), disk=disk)
+        plain_ans, plain_stats = _run(index, queries[:4])
+        offload_ans, offload_stats = _run(index, queries[:4], io_workers=4)
+        assert plain_ans == offload_ans
+        assert plain_stats == offload_stats
+        assert all(s["disk_reads"] > 0 for s in offload_stats)
+
+    def test_close_shuts_gather_pool(self, index, queries):
+        engine = GATSearchEngine(index, io_workers=2)
+        engine.execute(queries[0], 3)
+        assert engine._io_executor is not None
+        engine.close()
+        assert engine._io_executor is None
+        engine.close()  # idempotent
+        engine.execute(queries[0], 3)  # recreated on demand
+        engine.close()
+
+
+class TestEngineConfig:
+    def test_defaults_roundtrip(self, index):
+        engine = GATSearchEngine(index)
+        assert engine.config == EngineConfig()
+        assert engine.kernel in ("scalar", "vectorized")
+
+    def test_kwargs_override_config(self, index):
+        config = EngineConfig(retrieval_batch=64, kernel="scalar")
+        engine = GATSearchEngine(index, config=config, retrieval_batch=16)
+        assert engine.retrieval_batch == 16
+        assert engine.kernel == "scalar"
+        assert engine.config.kernel == "scalar"
+
+    def test_invalid_values_rejected(self, index):
+        with pytest.raises(ValueError):
+            GATSearchEngine(index, retrieval_batch=0)
+        with pytest.raises(ValueError):
+            GATSearchEngine(index, kernel="simd")
+        with pytest.raises(ValueError):
+            EngineConfig(io_workers=-1)
+
+    def test_scalar_kernel_always_available(self, index, queries):
+        engine = GATSearchEngine(index, kernel="scalar")
+        ctx = engine.execute(queries[0], 3)
+        assert ctx.ranked is not None

@@ -1,0 +1,202 @@
+"""Property-based parity: the vectorized kernels vs the scalar oracles.
+
+Randomized trajectories and queries drive both implementations of every
+kernelised quantity — the pairwise distance matrices, the set-cover
+(`PointMatchTable` vs the array DP), ``Dmm``, ``Dmom``, and whole engine
+executions — and require agreement: exact for the pure-combinatorics
+covers (same additions in the same order), last-ulp (1e-9 relative is
+orders of magnitude looser) wherever NumPy's elementwise rounding or the
+Dmom scan's re-association can differ from the scalar fold.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import kernels
+from repro.core.kernels import (
+    HAVE_NUMPY,
+    CandidateArrays,
+    QueryKernel,
+    min_cover_cost,
+    resolve_kernel,
+)
+from repro.core.evaluator import MatchEvaluator
+from repro.core.match import INFINITY, PointMatchTable
+from repro.core.order_match import minimum_order_match_distance
+from repro.core.query import Query, QueryPoint
+from repro.model.distance import (
+    EuclideanDistance,
+    HaversineDistance,
+    PreparedHaversine,
+)
+from repro.model.point import TrajectoryPoint
+from repro.model.trajectory import ActivityTrajectory
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+EUCLID = EuclideanDistance()
+
+coord_st = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+acts_st = st.frozensets(st.integers(min_value=0, max_value=5), max_size=3)
+point_st = st.tuples(coord_st, coord_st, acts_st)
+trajectory_st = st.lists(point_st, min_size=1, max_size=12)
+qpoint_st = st.tuples(
+    coord_st,
+    coord_st,
+    st.frozensets(st.integers(min_value=0, max_value=5), min_size=1, max_size=3),
+)
+query_st = st.lists(qpoint_st, min_size=1, max_size=4)
+
+
+def _trajectory(raw, tid=0):
+    return ActivityTrajectory(
+        tid, [TrajectoryPoint(x, y, acts) for x, y, acts in raw]
+    )
+
+
+def _query(raw):
+    return Query([QueryPoint(x, y, acts) for x, y, acts in raw])
+
+
+def _close(a, b):
+    if a == INFINITY or b == INFINITY:
+        return a == b
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Kernel resolution
+# ----------------------------------------------------------------------
+def test_resolve_kernel():
+    assert resolve_kernel("auto") == "vectorized"  # numpy is present here
+    assert resolve_kernel("scalar") == "scalar"
+    assert resolve_kernel("vectorized") == "vectorized"
+    with pytest.raises(ValueError):
+        resolve_kernel("simd")
+
+
+# ----------------------------------------------------------------------
+# Distance matrices vs per-pair metric calls
+# ----------------------------------------------------------------------
+@given(query_st, trajectory_st)
+@settings(max_examples=100, deadline=None)
+def test_euclidean_matrix_matches_metric(qraw, traw):
+    query, trajectory = _query(qraw), _trajectory(traw)
+    qk = QueryKernel(query, EUCLID)
+    positions = list(range(len(trajectory)))
+    rows = qk.distance_rows(trajectory, positions)
+    for i, q in enumerate(query):
+        for j, p in enumerate(trajectory.points):
+            want = EUCLID(q.coord, p.coord)
+            assert math.isclose(rows[i][j], want, rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(query_st, trajectory_st)
+@settings(max_examples=50, deadline=None)
+def test_haversine_matrix_matches_metric(qraw, traw):
+    # Coordinates are reinterpreted as (lon, lat) degrees; the strategy's
+    # [-50, 50] range keeps them legal.
+    metric = HaversineDistance()
+    query, trajectory = _query(qraw), _trajectory(traw)
+    qk = QueryKernel(query, metric)
+    positions = list(range(len(trajectory)))
+    rows = qk.distance_rows(trajectory, positions)
+    for i, q in enumerate(query):
+        for j, p in enumerate(trajectory.points):
+            want = metric(q.coord, p.coord)
+            assert math.isclose(rows[i][j], want, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(query_st, st.lists(coord_st, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_prepared_haversine_is_bit_identical(qraw, xs):
+    metric = HaversineDistance()
+    coords = [(x, y) for x, y, _ in qraw]
+    prepared = PreparedHaversine(coords)
+    targets = [(x, -x / 2.0) for x in xs]
+    for a in coords:
+        for b in targets:
+            assert prepared(a, b) == metric(a, b)
+    # Unknown first arguments fall back to on-the-fly conversion.
+    assert prepared((1.25, 2.5), targets[0]) == metric((1.25, 2.5), targets[0])
+
+
+# ----------------------------------------------------------------------
+# Array set-cover vs PointMatchTable
+# ----------------------------------------------------------------------
+cover_entries_st = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.integers(min_value=0, max_value=15),
+    ),
+    max_size=10,
+)
+
+
+@given(cover_entries_st, st.integers(min_value=1, max_value=4))
+@settings(max_examples=300, deadline=None)
+def test_min_cover_cost_matches_point_match_table(entries, n_bits):
+    table = PointMatchTable(range(n_bits))
+    mask_cap = (1 << n_bits) - 1
+    clipped = [(d, pm & mask_cap) for d, pm in entries]
+    for d, pm in clipped:
+        table.add(pm, d)
+    got = min_cover_cost(clipped, n_bits)
+    assert got == table.best()  # exact: same additions in the same order
+
+
+# ----------------------------------------------------------------------
+# Dmm / Dmom: vectorized evaluator vs scalar evaluator
+# ----------------------------------------------------------------------
+@given(query_st, trajectory_st)
+@settings(max_examples=150, deadline=None)
+def test_dmm_parity(qraw, traw):
+    query, trajectory = _query(qraw), _trajectory(traw)
+    scalar = MatchEvaluator(kernel="scalar")
+    vector = MatchEvaluator(kernel="vectorized")
+    a = scalar.dmm(query, trajectory)
+    b = vector.dmm(query, trajectory)
+    assert _close(a, b)
+    assert scalar.stats.point_match_points == vector.stats.point_match_points
+    assert scalar.stats.dmm_evaluations == vector.stats.dmm_evaluations
+
+
+@given(query_st, trajectory_st)
+@settings(max_examples=150, deadline=None)
+def test_dmom_parity(qraw, traw):
+    query, trajectory = _query(qraw), _trajectory(traw)
+    scalar = MatchEvaluator(kernel="scalar")
+    vector = MatchEvaluator(kernel="vectorized")
+    a = scalar.dmom(query, trajectory)
+    b = vector.dmom(query, trajectory)
+    assert _close(a, b)
+    assert scalar.stats.dmom_evaluations == vector.stats.dmom_evaluations
+    assert scalar.stats.dmm_evaluations == vector.stats.dmm_evaluations
+
+
+@given(query_st, trajectory_st, st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=100, deadline=None)
+def test_dmom_threshold_parity(qraw, traw, threshold):
+    """The Lemma-4 row early-exit fires identically under both kernels."""
+    query, trajectory = _query(qraw), _trajectory(traw)
+    a = MatchEvaluator(kernel="scalar").dmom(query, trajectory, threshold=threshold)
+    b = MatchEvaluator(kernel="vectorized").dmom(query, trajectory, threshold=threshold)
+    # At a threshold landing exactly on the distance the two kernels'
+    # last-ulp values may fall on opposite sides; hypothesis never finds
+    # such a tie with continuous floats, so equality is required.
+    assert _close(a, b)
+
+
+@given(query_st, trajectory_st)
+@settings(max_examples=100, deadline=None)
+def test_dmom_prepared_matches_scalar_dp(qraw, traw):
+    """dmom_prepared against the raw Algorithm 4 (no gates), including
+    trajectories with no relevant points."""
+    query, trajectory = _query(qraw), _trajectory(traw)
+    want = minimum_order_match_distance(query, trajectory, EUCLID)
+    qk = QueryKernel(query, EUCLID)
+    cand = kernels.prepare_candidate(qk, trajectory)
+    got = INFINITY if cand is None else kernels.dmom_prepared(qk, cand)
+    assert _close(got, want)

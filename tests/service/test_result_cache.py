@@ -1,0 +1,159 @@
+"""QueryService result cache: signature keying and invalidation on insert.
+
+The cache must be semantically invisible — a hit returns exactly what a
+fresh execution would — except in the work counters (zero engine work)
+and the service's hit-rate accounting.  Inserting a trajectory bumps the
+index version, which must drop every cached entry before the next lookup.
+"""
+
+import pytest
+
+from repro.core.engine import GATSearchEngine
+from repro.data.generator import CheckInGenerator, GeneratorConfig
+from repro.index.gat.index import GATConfig, GATIndex
+from repro.model.point import TrajectoryPoint
+from repro.model.trajectory import ActivityTrajectory
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.service import QueryRequest, QueryService
+
+
+@pytest.fixture()
+def db():
+    config = GeneratorConfig(
+        n_users=80,
+        n_venues=200,
+        vocabulary_size=100,
+        width_km=12.0,
+        height_km=10.0,
+        n_hotspots=4,
+        checkins_per_user_mean=8.0,
+        activities_per_checkin_mean=2.0,
+        seed=4321,
+    )
+    return CheckInGenerator(config).generate(name="result-cache")
+
+
+@pytest.fixture()
+def index(db):
+    return GATIndex.build(db, GATConfig(depth=5, memory_levels=4))
+
+
+@pytest.fixture()
+def engine(index):
+    return GATSearchEngine(index)
+
+
+@pytest.fixture()
+def query(db):
+    gen = QueryWorkloadGenerator(
+        db, WorkloadConfig(n_query_points=2, n_activities_per_point=2, seed=5)
+    )
+    return gen.query()
+
+
+def _answers(responses_or_results):
+    return [(r.trajectory_id, r.distance) for r in responses_or_results]
+
+
+class TestResultCacheHits:
+    def test_repeat_request_hits_cache(self, engine, query):
+        service = QueryService(engine, max_workers=2)
+        first = service.search(query, k=5)
+        second = service.search(query, k=5)
+        assert _answers(second.results) == _answers(first.results)
+        # The hit did no engine work...
+        assert second.stats.rounds == 0
+        assert second.stats.disk_reads == 0
+        assert first.stats.rounds >= 1
+        # ...and the accounting says one hit out of two lookups.
+        stats = service.stats()
+        assert stats.result_cache_hits == 1
+        assert stats.result_cache_lookups == 2
+        assert stats.result_cache_hit_rate == 0.5
+
+    def test_signature_includes_options(self, engine, query):
+        service = QueryService(engine)
+        service.search(query, k=5)
+        assert service.stats().result_cache_hits == 0
+        service.search(query, k=6)  # different k → miss
+        service.search(query, k=5, order_sensitive=True)  # different mode → miss
+        service.search(query, k=5, explain=True)  # different explain → miss
+        assert service.stats().result_cache_hits == 0
+        service.search(query, k=5)  # exact repeat → hit
+        assert service.stats().result_cache_hits == 1
+
+    def test_cached_results_are_fresh_lists(self, engine, query):
+        service = QueryService(engine)
+        first = service.search(query, k=5)
+        first.results.clear()  # caller mutation must not poison the cache
+        second = service.search(query, k=5)
+        assert len(second.results) > 0
+
+    def test_cache_disabled(self, engine, query):
+        service = QueryService(engine, result_cache_size=0)
+        a = service.search(query, k=5)
+        b = service.search(query, k=5)
+        assert _answers(a.results) == _answers(b.results)
+        assert b.stats.rounds >= 1  # really re-executed
+        stats = service.stats()
+        assert stats.result_cache_lookups == 0
+        assert stats.result_cache_hit_rate == 0.0
+
+    def test_search_many_hits_warm_cache(self, engine, query):
+        service = QueryService(engine, max_workers=4)
+        expected = _answers(service.search(query, k=5).results)
+        # Concurrent identical requests against the *warm* cache all hit
+        # (a cold batch may race its first wave into parallel misses —
+        # duplicated work, never a wrong answer).
+        responses = service.search_many([QueryRequest(query, k=5)] * 6)
+        assert all(_answers(r.results) == expected for r in responses)
+        assert service.stats().result_cache_hits == 6
+
+    def test_reset_stats_clears_cache_accounting(self, engine, query):
+        service = QueryService(engine)
+        service.search(query, k=5)
+        service.search(query, k=5)
+        service.reset_stats()
+        stats = service.stats()
+        assert stats.result_cache_hits == 0
+        assert stats.result_cache_lookups == 0
+
+
+class TestInvalidationOnInsert:
+    def _new_trajectory(self, db, index, query):
+        """A fresh trajectory sitting exactly on the query locations and
+        carrying all its activities — guaranteed to enter any top-k."""
+        tid = max(t.trajectory_id for t in db.trajectories) + 1
+        activities = sorted(query.all_activities)
+        points = [
+            TrajectoryPoint(q.x, q.y, frozenset(activities)) for q in query
+        ]
+        return ActivityTrajectory(tid, points)
+
+    def test_insert_invalidates_cached_results(self, db, index, engine, query):
+        service = QueryService(engine)
+        before = service.search(query, k=5)
+        new_tr = self._new_trajectory(db, index, query)
+
+        version = index.version
+        index.insert_trajectory(new_tr)
+        assert index.version == version + 1
+
+        after = service.search(query, k=5)
+        # The post-insert answer was recomputed (not served stale): the
+        # perfect-match trajectory now leads the ranking.
+        assert after.stats.rounds >= 1
+        assert after.results[0].trajectory_id == new_tr.trajectory_id
+        assert _answers(after.results) != _answers(before.results)
+        # And the recomputed answer is itself cached again.
+        repeat = service.search(query, k=5)
+        assert _answers(repeat.results) == _answers(after.results)
+        assert repeat.stats.rounds == 0
+
+    def test_insert_between_batches(self, db, index, engine, query):
+        service = QueryService(engine, max_workers=2)
+        service.search_many([QueryRequest(query, k=5)] * 3)
+        index.insert_trajectory(self._new_trajectory(db, index, query))
+        responses = service.search_many([QueryRequest(query, k=5)] * 3)
+        tids = {r.results[0].trajectory_id for r in responses}
+        assert len(tids) == 1  # consistent post-insert answers
