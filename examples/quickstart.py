@@ -15,6 +15,8 @@ from repro import (
     Query,
     QueryRequest,
     QueryService,
+    ShardedGATIndex,
+    ShardedQueryService,
     TrajectoryDatabase,
 )
 
@@ -137,3 +139,21 @@ print(f"service: {svc.queries} queries, {svc.qps:.0f} QPS, "
       f"p95 {svc.latency_p95_s * 1000:.2f} ms, "
       f"APL cache hit rate {svc.apl_cache_hit_rate:.0%}, "
       f"result cache {svc.result_cache_hits}/{svc.result_cache_lookups} hits")
+
+# ----------------------------------------------------------------------
+# 5. Scaling out: partition the database into per-shard GAT indexes and
+#    fan each query out across them.  Trajectories are sharded whole, so
+#    the merged top-k is byte-identical to the single index — compare the
+#    rankings below with step 3.  executor="thread" overlaps the shards'
+#    disk I/O; executor="process" runs them in worker processes (GIL-free
+#    CPU on multi-core machines); 2 shards is plenty for a toy database.
+# ----------------------------------------------------------------------
+sharded = ShardedGATIndex.build(db, n_shards=2, config=GATConfig(depth=4, memory_levels=3))
+with ShardedQueryService(sharded, executor="thread") as shard_service:
+    print(f"\nsharded serving ({sharded!r}):")
+    for label, order_sensitive in (("ATSQ", False), ("OATSQ", True)):
+        response = shard_service.search(query, k=3, order_sensitive=order_sensitive)
+        top = ", ".join(f"Tr{r.trajectory_id}({r.distance:.2f})" for r in response.results)
+        print(f"  {label} top-3 across shards: {top}  "
+              f"[{response.stats.disk_reads} disk reads over "
+              f"{sharded.n_shards} shard disks]")

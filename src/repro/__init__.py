@@ -17,6 +17,10 @@ The library implements activity-trajectory similarity search end to end:
 * a concurrent **QueryService** that batches queries over one shared
   engine with thread-pooled fan-out, shared LRU caches, and aggregate
   serving statistics (QPS, latency percentiles, cache hit rates);
+* a **sharded subsystem** (:mod:`repro.shard`) — trajectory-partitioned
+  per-shard GAT indexes behind a :class:`ShardedQueryService` that fans
+  queries out over threads or a process pool and k-way merges the ranked
+  lists, byte-identical to the single index;
 * the paper's three baselines (IL, RT, IRT) over from-scratch inverted
   lists, an R-tree and an IR-tree.
 
@@ -66,6 +70,7 @@ from repro.core import (
     minimum_order_match_distance,
 )
 from repro.service import QueryRequest, QueryResponse, QueryService, ServiceStats
+from repro.shard import ShardedGATIndex, ShardedQueryService, ShardRouter
 from repro.index import GATIndex, InvertedIndex, IRTree, RTree
 from repro.index.gat.index import GATConfig
 from repro.baselines import InvertedListSearch, IRTreeSearch, RTreeSearch
@@ -97,6 +102,9 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "ServiceStats",
+    "ShardRouter",
+    "ShardedGATIndex",
+    "ShardedQueryService",
     "InvertedIndex",
     "RTree",
     "IRTree",

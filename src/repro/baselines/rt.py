@@ -49,7 +49,13 @@ class _NearestStream:
         return self.heap[0][0] if self.heap else INFINITY
 
     def pop_point(self) -> Optional[Tuple[float, RTreeEntry]]:
-        """Return the next nearest point entry, or None when exhausted."""
+        """Return the next nearest point entry, or None when exhausted.
+
+        Expanding a node computes every child's key in one batched NumPy
+        call (:meth:`RTreeNode.child_min_dists`) — point distances for
+        leaves, MINDIST for internal nodes — instead of one Python metric
+        call per child.
+        """
         while self.heap:
             dist, _tick, item = heapq.heappop(self.heap)
             if isinstance(item, RTreeEntry):
@@ -57,22 +63,9 @@ class _NearestStream:
                 return dist, item
             node: RTreeNode = item
             self.stats.nodes_accessed += 1
-            if node.is_leaf:
-                for entry in node.children:
-                    d = _euclid(self.coord, entry.coord)
-                    heapq.heappush(self.heap, (d, next(self._tick), entry))
-            else:
-                for child in node.children:
-                    heapq.heappush(
-                        self.heap, (child.min_dist(self.coord), next(self._tick), child)
-                    )
+            for d, child in zip(node.child_min_dists(self.coord), node.children):
+                heapq.heappush(self.heap, (d, next(self._tick), child))
         return None
-
-
-def _euclid(a, b) -> float:
-    import math
-
-    return math.hypot(a[0] - b[0], a[1] - b[1])
 
 
 class RTreeSearch(Searcher):

@@ -57,6 +57,7 @@ class ExperimentHarness:
         methods: Sequence[str] = METHOD_NAMES,
     ) -> None:
         self.db = db
+        self.gat_config = gat_config
         self.methods = tuple(methods)
         self.searchers: Dict[str, object] = {}
         if "IL" in self.methods:
@@ -141,6 +142,65 @@ class ExperimentHarness:
             },
         )
         return timing
+
+    def run_sharded_batch(
+        self,
+        queries: Sequence[Query],
+        k: int,
+        order_sensitive: bool = False,
+        n_shards: int = 2,
+        executor: str = "thread",
+        n_clients: int = 1,
+    ) -> MethodTiming:
+        """Serve the batch through a :class:`ShardedQueryService` over a
+        fresh sharded build of the harness database.
+
+        ``n_clients > 1`` splits the workload round-robin
+        (:func:`~repro.bench.workloads.shard_workload`) and submits each
+        slice from its own client thread — the service's busy-interval
+        accounting makes the resulting QPS comparable with a single
+        ``search_many`` call.  ``total_seconds`` is batch wall time, so
+        ``avg_seconds`` is the amortised per-query cost, comparable with
+        :meth:`run_batch`'s GAT row and :meth:`run_service_batch`.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.bench.workloads import shard_workload
+        from repro.shard import ShardedGATIndex, ShardedQueryService
+
+        sharded = ShardedGATIndex.build(
+            self.db, n_shards=n_shards, config=self.gat_config
+        )
+        with ShardedQueryService(sharded, executor=executor) as service:
+            t0 = time.perf_counter()
+            if n_clients <= 1:
+                responses = service.search_many(
+                    queries, k=k, order_sensitive=order_sensitive
+                )
+            else:
+                slices = shard_workload(queries, n_clients)
+                with ThreadPoolExecutor(max_workers=n_clients) as clients:
+                    futures = [
+                        clients.submit(
+                            service.search_many, s, k, order_sensitive
+                        )
+                        for s in slices
+                    ]
+                    responses = [r for f in futures for r in f.result()]
+            wall = time.perf_counter() - t0
+            stats = service.stats()
+        return MethodTiming(
+            method=f"GAT/{n_shards}sh×{executor}",
+            total_seconds=wall,
+            n_queries=len(responses),
+            candidates=sum(r.stats.candidates_retrieved for r in responses),
+            extra={
+                "qps": stats.qps,
+                "p50_ms": stats.latency_p50_s * 1000.0,
+                "p95_ms": stats.latency_p95_s * 1000.0,
+                "disk_reads": float(stats.disk_reads),
+            },
+        )
 
     def sweep(
         self,

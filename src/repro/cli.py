@@ -15,6 +15,7 @@ Usage examples::
     python -m repro.cli stats la.jsonl
     python -m repro.cli query la.jsonl --k 5 --order-sensitive --seed 3
     python -m repro.cli query la.jsonl --k 5 --batch 50 --workers 8
+    python -m repro.cli query la.jsonl --k 5 --batch 50 --shards 4 --executor process
     python -m repro.cli sweep la.jsonl --figure k
 """
 
@@ -34,13 +35,14 @@ from repro.bench.experiments import (
 )
 from repro.bench.reporting import format_series_table, format_stat_table
 from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
-from repro.core.engine import GATSearchEngine
+from repro.core.engine import EngineConfig, GATSearchEngine
 from repro.data.generator import CheckInGenerator, GeneratorConfig
 from repro.data.loader import load_database_jsonl, save_database_jsonl
 from repro.data.presets import dataset_from_preset
 from repro.index.gat.index import GATConfig, GATIndex
 from repro.model.database import TrajectoryDatabase
 from repro.service import QueryRequest, QueryService
+from repro.shard import ShardedGATIndex, ShardedQueryService
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -85,7 +87,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve N workload queries through the QueryService instead of one",
     )
     p_query.add_argument(
-        "--workers", type=int, default=8, help="thread-pool width for --batch"
+        "--workers",
+        type=int,
+        default=None,
+        help="fan-out width: QueryService thread-pool width for --batch "
+        "(default 8), or the shard executor's worker budget with "
+        "--shards > 1 (default: 4 threads per shard, or one process per "
+        "shard with --executor process)",
+    )
+    p_query.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the index over N shards and serve through the "
+        "ShardedQueryService (1 = the plain single index)",
+    )
+    p_query.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default="thread",
+        help="shard fan-out backend for --shards > 1 (process pools bypass "
+        "the GIL for CPU-bound workloads)",
     )
 
     p_sweep = sub.add_parser("sweep", help="run a paper figure sweep")
@@ -132,19 +154,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_query_service(db, args: argparse.Namespace):
+    """The serving stack the ``query`` subcommand runs against: a plain
+    :class:`QueryService` for ``--shards 1``, a sharded fleet otherwise."""
+    gat_config = GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
+    if args.shards > 1:
+        sharded = ShardedGATIndex.build(db, n_shards=args.shards, config=gat_config)
+        return ShardedQueryService(
+            sharded,
+            engine_config=EngineConfig(kernel=args.kernel),
+            executor=args.executor,
+            max_workers=args.workers,  # None -> the executor's default
+        )
+    engine = GATSearchEngine(GATIndex.build(db, gat_config), kernel=args.kernel)
+    return QueryService(engine, max_workers=args.workers if args.workers else 8)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     # Validate flags before the expensive load + index build.
     if args.batch < 0:
         print("--batch must be >= 0", file=sys.stderr)
         return 2
-    if args.batch > 0 and args.workers < 1:
+    if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
     db = load_database_jsonl(args.dataset)
-    index = GATIndex.build(
-        db, GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
-    )
-    engine = GATSearchEngine(index, kernel=args.kernel)
+    service = _build_query_service(db, args)
     workload = QueryWorkloadGenerator(
         db,
         WorkloadConfig(
@@ -154,44 +192,50 @@ def _cmd_query(args: argparse.Namespace) -> int:
         ),
     )
     if args.batch > 0:
-        return _run_query_batch(engine, workload, args)
+        return _run_query_batch(service, workload, args)
     query = workload.query()
     print("query:")
     for i, q in enumerate(query, start=1):
         names = sorted(db.vocabulary.decode(q.activities))
         print(f"  q{i}: ({q.x:.2f}, {q.y:.2f})  {names}")
     t0 = time.perf_counter()
-    if args.order_sensitive:
-        results = engine.oatsq(query, args.k, explain=args.explain)
-        label = "Dmom"
-    else:
-        results = engine.atsq(query, args.k, explain=args.explain)
-        label = "Dmm"
+    response = service.search(
+        query, k=args.k, order_sensitive=args.order_sensitive, explain=args.explain
+    )
     elapsed = time.perf_counter() - t0
-    print(f"\ntop-{args.k} ({label}), {elapsed * 1000:.1f} ms:")
-    for rank, r in enumerate(results, start=1):
+    label = "Dmom" if args.order_sensitive else "Dmm"
+    # The sharded path annotates the header; the default path keeps the
+    # seed's exact format.
+    where = f", {args.shards} shards/{args.executor}" if args.shards > 1 else ""
+    print(f"\ntop-{args.k} ({label}{where}), {elapsed * 1000:.1f} ms:")
+    for rank, r in enumerate(response.results, start=1):
         line = f"  #{rank}: trajectory {r.trajectory_id}  {label}={r.distance:.3f}"
         if args.explain and r.matches is not None:
             line += f"  matches={r.matches}"
         print(line)
-    stats = engine.stats
+    stats = response.stats
     print(f"\nwork: {stats.cells_popped} cells, {stats.candidates_retrieved} candidates, "
           f"{stats.tas_pruned} TAS-pruned, {stats.disk_reads} disk reads")
+    service.close()
     return 0
 
 
-def _run_query_batch(engine, workload, args: argparse.Namespace) -> int:
-    """Serve ``args.batch`` workload queries through the QueryService."""
+def _run_query_batch(service, workload, args: argparse.Namespace) -> int:
+    """Serve ``args.batch`` workload queries through the (possibly
+    sharded) query service."""
     requests = [
         QueryRequest(
             q, k=args.k, order_sensitive=args.order_sensitive, explain=args.explain
         )
         for q in workload.queries(args.batch)
     ]
-    service = QueryService(engine, max_workers=args.workers)
     responses = service.search_many(requests)
     label = "Dmom" if args.order_sensitive else "Dmm"
-    print(f"batch of {len(responses)} queries ({label}, {args.workers} workers):")
+    if args.shards > 1:
+        spread = f"{args.shards} shards, {args.executor} executor"
+    else:
+        spread = f"{args.workers if args.workers else 8} workers"
+    print(f"batch of {len(responses)} queries ({label}, {spread}):")
     for i, resp in enumerate(responses):
         best = resp.results[0] if resp.results else None
         head = (
@@ -209,6 +253,7 @@ def _run_query_batch(engine, workload, args: argparse.Namespace) -> int:
           f"p95 {stats.latency_p95_s * 1000:.1f} ms, "
           f"HICL cache hit rate {stats.hicl_cache_hit_rate:.1%}, "
           f"APL cache hit rate {stats.apl_cache_hit_rate:.1%}")
+    service.close()
     return 0
 
 

@@ -11,7 +11,7 @@ queries: two contexts never touch the same mutable state.
 from __future__ import annotations
 
 from dataclasses import MISSING, dataclass, field, fields
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.evaluator import MatchEvaluator
 from repro.core.query import Query
@@ -47,6 +47,25 @@ class SearchStats:
             else:
                 setattr(self, f.name, f.default)
 
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another execution's counters into this one.
+
+        Field-driven like :meth:`reset` so new counters can never be
+        silently dropped from an aggregate.  Used by the sharded fan-out
+        to sum per-shard work into one query-level view; each shard runs
+        on its own disk and caches, so plain summation never double-counts.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @classmethod
+    def merged(cls, parts: "list[SearchStats]") -> "SearchStats":
+        """A fresh :class:`SearchStats` holding the sum of *parts*."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
 
 @dataclass(slots=True)
 class ExecutionContext:
@@ -67,6 +86,13 @@ class ExecutionContext:
     results: TopKCollector = field(init=False)
     ranked: Optional[List[SearchResult]] = None
     latency_s: float = 0.0
+    #: Optional external pruning threshold (a callable returning the
+    #: current k-th best distance over a *wider* candidate population,
+    #: e.g. the cross-shard merged top-k).  Sound whenever that population
+    #: is a superset of this execution's own: any candidate worse than the
+    #: wider k-th can never reach the wider top-k, so pruning against
+    #: ``min(local, external)`` loses nothing the caller cares about.
+    external_threshold: Optional[Callable[[], float]] = None
 
     def __post_init__(self) -> None:
         self.results = TopKCollector(self.k)
@@ -78,5 +104,9 @@ class ExecutionContext:
 
     def threshold(self) -> float:
         """The current k-th best distance — the running pruning threshold
-        of Algorithm 1 (``inf`` until k results are held)."""
-        return self.results.kth_distance()
+        of Algorithm 1 (``inf`` until k results are held), tightened by
+        the external threshold when one is wired in."""
+        local = self.results.kth_distance()
+        if self.external_threshold is None:
+            return local
+        return min(local, self.external_threshold())

@@ -284,16 +284,32 @@ class GATSearchEngine:
         order_sensitive: bool = False,
         explain: bool = False,
         filters: Optional[list] = None,
+        external_threshold=None,
+        result_sink=None,
     ) -> ExecutionContext:
         """Run one query through the staged pipeline and return its
         completed :class:`ExecutionContext` (results in ``ranked``,
-        counters in ``stats``)."""
+        counters in ``stats``).
+
+        *external_threshold* / *result_sink* are the distributed-top-k
+        hooks used by the sharded fan-out: the sink receives every result
+        entering the local top-k (feeding a cross-shard merged collector),
+        and the threshold callable supplies that merged collector's k-th
+        distance, which tightens both the Lemma-4 scoring prune and
+        Algorithm 1's termination test.  Sound because the merged
+        population is a superset of this shard's: anything worse than the
+        merged k-th can't be in the merged top-k, and when the merged k-th
+        beats this shard's unseen lower bound no unseen local trajectory
+        can either.  With both hooks unset the behaviour is exactly the
+        paper's single-index Algorithm 1.
+        """
         ctx = ExecutionContext(
             query=query,
             k=k,
             order_sensitive=order_sensitive,
             explain=explain,
             evaluator=MatchEvaluator(self.metric, kernel=self.kernel),
+            external_threshold=external_threshold,
         )
         validation = ValidationStage(
             self.filter_chain(order_sensitive) if filters is None else filters
@@ -304,9 +320,16 @@ class GATSearchEngine:
             # Inside the tracked block: seeding the retriever reads the
             # level-1 HICL lists, which count toward this query's I/O.
             retriever = CandidateRetriever(self.index, query, ctx.stats)
+            shared_mode = external_threshold is not None
             while True:
                 ctx.stats.rounds += 1
-                new_candidates = retriever.retrieve(self.retrieval_batch)
+                # Distributed-top-k only: bound the best-first expansion by
+                # the merged threshold (exact — see retrieve()).  The
+                # single-index path keeps the paper's unbounded rounds.
+                stop_mdist = ctx.threshold() if shared_mode else INFINITY
+                new_candidates = retriever.retrieve(
+                    self.retrieval_batch, stop_mdist=stop_mdist
+                )
                 lower = self._lower_bound(query, retriever)
                 admitted = validation.admit_batch(
                     ctx,
@@ -316,13 +339,17 @@ class GATSearchEngine:
                 for candidate in admitted:
                     distance = self._scoring.score(ctx, candidate)
                     if distance != INFINITY:
-                        ctx.results.offer(
-                            SearchResult(candidate.trajectory_id, distance)
-                        )
-                if ctx.results.kth_distance() < lower:
+                        result = SearchResult(candidate.trajectory_id, distance)
+                        ctx.results.offer(result)
+                        if result_sink is not None:
+                            result_sink(result)
+                if ctx.threshold() < lower:
                     break  # no unseen trajectory can beat the current top-k
                 if not new_candidates and retriever.exhausted:
                     break  # the whole index has been harvested
+                if shared_mode and retriever.queue_top_mdist() > ctx.threshold():
+                    break  # merged-top-k bound: all undiscovered trajectories
+                    # sort behind the queue top, hence behind the k-th best
 
         ctx.stats.disk_reads = disk.reads
         ctx.stats.disk_pages_read = disk.pages_read

@@ -148,7 +148,18 @@ class QueryKernel:
     one matrix, so the combinatorial kernels stay identical.
     """
 
-    __slots__ = ("query", "m", "n_bits", "bit_values", "metric", "_mode", "_q0", "_q1", "_q2")
+    __slots__ = (
+        "query",
+        "m",
+        "n_bits",
+        "bit_values",
+        "all_single",
+        "metric",
+        "_mode",
+        "_q0",
+        "_q1",
+        "_q2",
+    )
 
     def __init__(self, query, metric: DistanceMetric) -> None:
         self.query = query
@@ -160,6 +171,10 @@ class QueryKernel:
             activities = list(dict.fromkeys(q.activities))
             self.n_bits.append(len(activities))
             self.bit_values.append({a: 1 << i for i, a in enumerate(activities)})
+        #: Every query point carries one activity — the common query shape,
+        #: and the one whose whole candidate preparation and DP can stay in
+        #: NumPy arrays (see prepare_candidate / _dmom_all_single_np).
+        self.all_single = all(b == 1 for b in self.n_bits)
 
         if not HAVE_NUMPY:
             raise RuntimeError("QueryKernel requires numpy")
@@ -177,41 +192,82 @@ class QueryKernel:
             self._mode = "generic"
             self._q0 = self._q1 = self._q2 = None
 
-    def distance_rows(self, trajectory, positions: List[int]) -> List[List[float]]:
-        """The ``|Q| x len(positions)`` distance matrix, as Python rows
-        (list indexing is what the scan loops do; one ``tolist`` beats a
-        million boxed NumPy scalar reads)."""
+    def _generic_rows(self, trajectory, positions: List[int]) -> List[List[float]]:
+        pts = trajectory.points
+        metric = self.metric
+        coords = [pts[p].coord for p in positions]
+        return [[metric(q.coord, c) for c in coords] for q in self.query]
+
+    def distance_matrix(self, trajectory, positions: List[int]):
+        """The ``|Q| x len(positions)`` distance matrix as a NumPy array
+        (non-stock metrics go through per-pair Python calls, then one
+        ``asarray`` — the combinatorial kernels downstream are identical)."""
         if self._mode == "generic":
-            pts = trajectory.points
-            metric = self.metric
-            coords = [pts[p].coord for p in positions]
-            return [[metric(q.coord, c) for c in coords] for q in self.query]
+            return _np.asarray(self._generic_rows(trajectory, positions), dtype=float)
         sub = trajectory.coord_array()[positions]
         px = sub[:, 0]
         py = sub[:, 1]
         if self._mode == "euclidean":
-            matrix = euclidean_matrix(self._q0, self._q1, px, py)
-        else:
-            matrix = haversine_matrix(
-                self._q0, self._q1, self._q2, _np.radians(px), _np.radians(py)
-            )
-        return matrix.tolist()
+            return euclidean_matrix(self._q0, self._q1, px, py)
+        return haversine_matrix(
+            self._q0, self._q1, self._q2, _np.radians(px), _np.radians(py)
+        )
+
+    def distance_rows(self, trajectory, positions: List[int]) -> List[List[float]]:
+        """The same matrix as Python rows (list indexing is what the scan
+        loops do; one ``tolist`` beats a million boxed NumPy scalar reads)."""
+        if self._mode == "generic":
+            return self._generic_rows(trajectory, positions)
+        return self.distance_matrix(trajectory, positions).tolist()
 
 
 class CandidateArrays:
-    """Everything the kernels need about one (query, trajectory) pair."""
+    """Everything the kernels need about one (query, trajectory) pair.
 
-    __slots__ = ("positions", "dist_rows", "mask_rows")
+    Two storage shapes, chosen by :func:`prepare_candidate`:
+
+    * list rows (``dist_rows`` / ``mask_rows``) — what the mixed
+      single/multi-activity scan loops index;
+    * NumPy matrices (``dist_matrix`` / ``mask_matrix``) — the all-single-
+      activity fast path, where both ``Dmm`` and the ``Dmom`` DP run as
+      whole-array ops and a per-candidate ``tolist`` would cost more than
+      the arithmetic it feeds.
+
+    Whichever shape was not built is derived lazily, so ad-hoc consumers
+    (tests, notebooks) can read either view of any candidate.
+    """
+
+    __slots__ = ("positions", "_dist_rows", "_mask_rows", "dist_matrix", "mask_matrix")
 
     def __init__(
         self,
         positions: List[int],
-        dist_rows: List[List[float]],
-        mask_rows: List[List[int]],
+        dist_rows: Optional[List[List[float]]] = None,
+        mask_rows: Optional[List[List[int]]] = None,
+        dist_matrix=None,
+        mask_matrix=None,
     ) -> None:
+        if dist_rows is None and dist_matrix is None:
+            raise ValueError("either dist_rows or dist_matrix is required")
         self.positions = positions
-        self.dist_rows = dist_rows
-        self.mask_rows = mask_rows
+        self._dist_rows = dist_rows
+        self._mask_rows = mask_rows
+        self.dist_matrix = dist_matrix
+        self.mask_matrix = mask_matrix
+
+    @property
+    def dist_rows(self) -> List[List[float]]:
+        if self._dist_rows is None:
+            self._dist_rows = self.dist_matrix.tolist()
+        return self._dist_rows
+
+    @property
+    def mask_rows(self) -> List[List[int]]:
+        if self._mask_rows is None:
+            # Boolean columns become bit 0 — exactly the single-activity
+            # bitmask the scalar scans expect.
+            self._mask_rows = self.mask_matrix.astype(int).tolist()
+        return self._mask_rows
 
 
 def prepare_candidate(qk: QueryKernel, trajectory) -> Optional[CandidateArrays]:
@@ -234,6 +290,22 @@ def prepare_candidate(qk: QueryKernel, trajectory) -> Optional[CandidateArrays]:
     col_of = {p: c for c, p in enumerate(positions)}
     n = len(positions)
 
+    if qk.all_single:
+        # All-single-activity fast path: keep the distance matrix in array
+        # form (it is born as one) and scatter the posting columns into a
+        # boolean mask matrix — no per-candidate tolist, no bitmask lists.
+        mask = _np.zeros((qk.m, n), dtype=bool)
+        for i, bit_values in enumerate(qk.bit_values):
+            for activity in bit_values:
+                ps = posting.get(activity)
+                if ps:
+                    mask[i, [col_of[p] for p in ps]] = True
+        return CandidateArrays(
+            positions,
+            dist_matrix=qk.distance_matrix(trajectory, positions),
+            mask_matrix=mask,
+        )
+
     dist_rows = qk.distance_rows(trajectory, positions)
 
     mask_rows: List[List[int]] = []
@@ -245,18 +317,44 @@ def prepare_candidate(qk: QueryKernel, trajectory) -> Optional[CandidateArrays]:
                 for p in ps:
                     mrow[col_of[p]] |= bit
         mask_rows.append(mrow)
-    return CandidateArrays(positions, dist_rows, mask_rows)
+    return CandidateArrays(positions, dist_rows=dist_rows, mask_rows=mask_rows)
 
 
 # ----------------------------------------------------------------------
 # Dmm — Lemma 1 over the prepared arrays
 # ----------------------------------------------------------------------
+def _dmm_all_single_np(qk: QueryKernel, cand: CandidateArrays, stats=None) -> float:
+    """``Dmm`` over the array-form candidate: each row is one masked min.
+
+    Mirrors the scalar fold exactly, including its stats accounting — the
+    per-row candidate count is added *before* the empty-row early exit, so
+    ``point_match_points`` matches the scalar path even on misses.  ``min``
+    is order-independent for floats, so the value is bit-identical.
+    """
+    dist = cand.dist_matrix
+    mask = cand.mask_matrix
+    total = 0.0
+    for i in range(qk.m):
+        mi = mask[i]
+        count = int(mi.sum())
+        if stats is not None:
+            stats.point_match_points += count
+        if count == 0:
+            return INFINITY
+        total += float(dist[i][mi].min())
+    return total
+
+
 def dmm_prepared(qk: QueryKernel, cand: CandidateArrays, stats=None) -> float:
     """``Dmm(Q, Tr)``: per-query-point Algorithm 3 over the distance rows.
 
     Single-activity query points (the common case) reduce to a plain
-    ``min`` over the candidate columns — no cover DP at all.
+    ``min`` over the candidate columns — no cover DP at all; when *every*
+    point is single-activity the whole computation stays in NumPy
+    (:func:`_dmm_all_single_np`).
     """
+    if cand.mask_matrix is not None:
+        return _dmm_all_single_np(qk, cand, stats)
     total = 0.0
     for i in range(qk.m):
         row = cand.dist_rows[i]
@@ -282,6 +380,80 @@ def dmm_prepared(qk: QueryKernel, cand: CandidateArrays, stats=None) -> float:
 # ----------------------------------------------------------------------
 # Dmom — Algorithm 4 as a single left-to-right scan per row
 # ----------------------------------------------------------------------
+def _dmom_row_single(prev: List[float], row: List[float], mrow: List[int]) -> List[float]:
+    """One single-activity Dmom row as the scalar recurrence.
+
+    Covers are single points, so the cover state ``A`` collapses to
+    ``(a0, best)``: ``a0`` is the running prefix-min of ``prev[1..j]``
+    (the cheapest place a new segment may start) and ``best`` the best
+    ``a0 + d`` seen so far.  Kept as the oracle for the NumPy row below.
+    """
+    n = len(row)
+    cur = [INFINITY] * (n + 1)
+    a0 = INFINITY
+    best = INFINITY
+    for j in range(1, n + 1):
+        pj = prev[j]
+        if pj < a0:
+            a0 = pj
+        if mrow[j - 1]:
+            v = a0 + row[j - 1]
+            if v < best:
+                best = v
+        cur[j] = best
+    return cur
+
+
+def _dmom_row_single_np(prev: List[float], row: List[float], mrow: List[int]) -> List[float]:
+    """The same single-activity row as three NumPy array ops (the
+    ROADMAP's row-vectorized Dmom).
+
+    ``a0[j] = min(prev[1..j])`` is one ``minimum.accumulate``; the
+    candidate values ``a0 + d`` exist only where the point carries the
+    activity (``inf`` elsewhere); ``cur[j] = min over j' <= j`` is a
+    second accumulate.  Every addition and min is the one the scalar
+    recurrence performs, in the same order, so the row is bit-identical —
+    the parity suite asserts exact equality, not approximate.
+
+    This list-in/list-out form exists for the parity tests and the mixed
+    single/multi-activity DP; the hot path is :func:`_dmom_all_single_np`,
+    which keeps the whole DP in arrays (per-row list↔array conversion
+    costs more than the accumulate it feeds).
+    """
+    a0 = _np.minimum.accumulate(_np.asarray(prev[1:], dtype=float))
+    d = _np.asarray(row, dtype=float)
+    mask = _np.asarray(mrow, dtype=bool)
+    vals = _np.where(mask, a0 + d, INFINITY)
+    cur = _np.minimum.accumulate(vals).tolist()
+    cur.insert(0, INFINITY)
+    return cur
+
+
+def _dmom_all_single_np(qk: "QueryKernel", cand: "CandidateArrays", threshold: float) -> float:
+    """The whole Dmom DP as array ops when *every* query point carries a
+    single activity (the paper's most common query shape).
+
+    The candidate is already in array form (:func:`prepare_candidate`
+    never built lists for it), and each of the ``|Q|`` rows is two
+    ``minimum.accumulate`` passes and one masked add — the
+    prefix/segment-min recurrence of :func:`_dmom_row_single_np` without
+    the per-row list round-trips.  ``prev`` holds ``G(i-1, 1..n)``; the
+    guardian row ``G(0, *) = 0`` is the initial zeros.  The Lemma-4 row
+    threshold exit is unchanged.
+    """
+    dist = cand.dist_matrix
+    mask = cand.mask_matrix
+    prev = _np.zeros(dist.shape[1], dtype=float)
+    for i in range(qk.m):
+        a0 = _np.minimum.accumulate(prev)
+        vals = _np.where(mask[i], a0 + dist[i], INFINITY)
+        cur = _np.minimum.accumulate(vals)
+        if cur[-1] > threshold:
+            return INFINITY
+        prev = cur
+    return float(prev[-1])
+
+
 def dmom_prepared(
     qk: QueryKernel, cand: CandidateArrays, threshold: float = INFINITY
 ) -> float:
@@ -303,27 +475,22 @@ def dmom_prepared(
     when a finished row's last entry exceeds *threshold* the candidate can
     never beat the current k-th best, and the scan aborts.
     """
+    if cand.mask_matrix is not None:
+        # Row-vectorized fast path: every row is the single-activity
+        # recurrence, so the whole DP stays in arrays (bit-identical to
+        # the scalar fold below — the parity suite asserts exact equality).
+        return _dmom_all_single_np(qk, cand, threshold)
     n = len(cand.positions)
     prev = [0.0] * (n + 1)  # G(0, *) = 0 — guardian row
     for i in range(qk.m):
         row = cand.dist_rows[i]
         mrow = cand.mask_rows[i]
-        cur = [INFINITY] * (n + 1)
         if qk.n_bits[i] == 1:
             # Covers are single points: A collapses to (prefix-min of
             # prev, best value so far).
-            a0 = INFINITY
-            best = INFINITY
-            for j in range(1, n + 1):
-                pj = prev[j]
-                if pj < a0:
-                    a0 = pj
-                if mrow[j - 1]:
-                    v = a0 + row[j - 1]
-                    if v < best:
-                        best = v
-                cur[j] = best
+            cur = _dmom_row_single(prev, row, mrow)
         else:
+            cur = [INFINITY] * (n + 1)
             size = 1 << qk.n_bits[i]
             full = size - 1
             a = [INFINITY] * size

@@ -101,9 +101,19 @@ class CandidateRetriever:
     def queue_top_mdist(self) -> float:
         return self.heap[0][0] if self.heap else INFINITY
 
-    def retrieve(self, batch: int) -> List[int]:
+    def retrieve(self, batch: int, stop_mdist: float = INFINITY) -> List[int]:
         """Pop cells best-first until ``batch`` *new* candidate trajectories
-        have been collected (Section V-A), or the queue runs dry."""
+        have been collected (Section V-A), or the queue runs dry.
+
+        *stop_mdist* bounds the expansion: popping stops (entries stay
+        queued) once the queue top's MINDIST exceeds it.  Exact whenever
+        the bound is a current top-k threshold: a trajectory with
+        ``Dmm ≤ τ`` has, for every query point, a matching point whose
+        cell chain carries ``mdist ≤ Dmm ≤ τ``, so its discovery entries
+        sort *before* anything the bound skips.  The sharded fan-out
+        passes the cross-shard merged k-th here; the single-index path
+        leaves it at ``inf`` (the paper's loop shape, untouched).
+        """
         hicl = self.index.hicl
         itl = self.index.itl
         grid = self.index.grid
@@ -112,6 +122,8 @@ class CandidateRetriever:
         new_candidates: List[int] = []
 
         while self.heap and len(new_candidates) < batch:
+            if self.heap[0][0] > stop_mdist:
+                break
             mdist, _tick, level, code, qi = heapq.heappop(self.heap)
             stats.cells_popped += 1
             q = self.query[qi]

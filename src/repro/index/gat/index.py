@@ -72,6 +72,7 @@ class GATIndex:
         db: TrajectoryDatabase,
         config: Optional[GATConfig] = None,
         disk: Optional[SimulatedDisk] = None,
+        bounding_box=None,
     ) -> "GATIndex":
         """Build all four components over *db*.
 
@@ -79,12 +80,21 @@ class GATIndex:
         (sharing a disk lets experiments aggregate I/O across components).
         Build-time writes are excluded from the returned disk's counters so
         query-time statistics start clean.
+
+        *bounding_box* overrides the grid universe (default: the database's
+        own padded box).  A sharded deployment passes the *global* box so
+        every shard grid covers the same universe: inserts then route to any
+        shard regardless of where the shard's initial trajectories happened
+        to lie, and MINDIST lower bounds stay sound for points anywhere in
+        the full dataset.  The box must cover every point of *db*.
         """
         if config is None:
             config = GATConfig()
         if disk is None:  # explicit: an empty SimulatedDisk is falsy (len 0)
             disk = SimulatedDisk()
-        grid = HierarchicalGrid(db.bounding_box, config.depth)
+        grid = HierarchicalGrid(
+            db.bounding_box if bounding_box is None else bounding_box, config.depth
+        )
         hicl = HICL.build(db, grid, config.memory_levels, disk)
         itl = ITL.build(db, grid)
         sketches = build_sketches(db, config.sketch_intervals)

@@ -114,6 +114,113 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
     return sorted_values[rank - 1]
 
 
+def as_request(item: Union[QueryRequest, Query], **defaults) -> QueryRequest:
+    """Coerce a bare :class:`Query` (plus shared option defaults) into a
+    :class:`QueryRequest`; prebuilt requests pass through untouched.
+    Shared by both query services so request coercion can never diverge."""
+    if isinstance(item, QueryRequest):
+        return item
+    return QueryRequest(query=item, **defaults)
+
+
+def delta_hit_rate(now: Optional[CacheStats], base: Optional[CacheStats]) -> float:
+    """Hit rate of the lookups that happened since *base* was snapshotted
+    (0.0 for disabled caches or when nothing has been looked up since)."""
+    if now is None or base is None:
+        return 0.0
+    hits = now.hits - base.hits
+    lookups = now.lookups - base.lookups
+    return hits / lookups if lookups > 0 else 0.0
+
+
+def request_cache_key(request: QueryRequest) -> tuple:
+    """The query signature used by result caches: the (hashable, frozen)
+    query points plus every option that changes the answer.  Shared by
+    :class:`QueryService` and the sharded service so both layers cache —
+    and invalidate — under identical identities."""
+    return (
+        request.query.points,
+        request.k,
+        request.order_sensitive,
+        request.explain,
+    )
+
+
+class ServingMetrics:
+    """Thread-safe serving accounting shared by the query services.
+
+    Owns the latency window, the query/disk-read totals, and the
+    busy-interval wall clock (overlapping calls must not double-count wall
+    time: ``qps = queries / busy wall``).  :class:`QueryService` and the
+    sharded :class:`~repro.shard.service.ShardedQueryService` both delegate
+    here so their ``ServiceStats`` mean the same thing.
+    """
+
+    __slots__ = (
+        "_lock",
+        "_latencies",
+        "_n_queries",
+        "_latency_sum",
+        "_wall_seconds",
+        "_disk_reads",
+        "_busy_depth",
+        "_busy_since",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+        self._n_queries = 0
+        self._latency_sum = 0.0
+        self._wall_seconds = 0.0
+        self._disk_reads = 0
+        self._busy_depth = 0
+        self._busy_since = 0.0
+
+    def enter_busy(self) -> None:
+        with self._lock:
+            if self._busy_depth == 0:
+                self._busy_since = time.perf_counter()
+            self._busy_depth += 1
+
+    def exit_busy(self) -> None:
+        with self._lock:
+            self._busy_depth -= 1
+            if self._busy_depth == 0:
+                self._wall_seconds += time.perf_counter() - self._busy_since
+
+    def record(self, samples: Iterable[tuple]) -> None:
+        """Absorb ``(latency_s, disk_reads)`` pairs, one per answered query."""
+        with self._lock:
+            for latency_s, disk_reads in samples:
+                self._latencies.append(latency_s)
+                self._n_queries += 1
+                self._latency_sum += latency_s
+                self._disk_reads += disk_reads
+
+    def reset(self) -> None:
+        with self._lock:
+            self._latencies.clear()
+            self._n_queries = 0
+            self._latency_sum = 0.0
+            self._wall_seconds = 0.0
+            self._disk_reads = 0
+
+    def fill(self, stats: ServiceStats) -> ServiceStats:
+        """Write the timing/volume fields into *stats* and return it."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            stats.queries = self._n_queries
+            stats.wall_seconds = self._wall_seconds
+            stats.latency_mean_s = (
+                self._latency_sum / self._n_queries if self._n_queries else 0.0
+            )
+            stats.disk_reads = self._disk_reads
+        stats.latency_p50_s = _percentile(latencies, 0.50)
+        stats.latency_p95_s = _percentile(latencies, 0.95)
+        return stats
+
+
 class QueryService:
     """Batched, concurrent query serving over one shared engine.
 
@@ -159,31 +266,14 @@ class QueryService:
         # lazily so a sequential-only service never spawns threads.
         self._pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
-        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
-        self._n_queries = 0
-        self._latency_sum = 0.0
-        self._wall_seconds = 0.0
-        self._disk_reads = 0
-        # Busy-interval accounting: overlapping search/search_many calls
-        # must not double-count wall time (qps = queries / busy wall).
-        self._busy_depth = 0
-        self._busy_since = 0.0
+        self._metrics = ServingMetrics()
         self._hicl_base: CacheStats = engine.index.hicl.cache_stats()
         self._apl_base: Optional[CacheStats] = engine.apl_cache_stats()
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    @staticmethod
-    def _cache_key(request: QueryRequest) -> tuple:
-        """The query signature: the (hashable, frozen) query points plus
-        every option that changes the answer."""
-        return (
-            request.query.points,
-            request.k,
-            request.order_sensitive,
-            request.explain,
-        )
+    _cache_key = staticmethod(request_cache_key)
 
     def _check_cache_version(self) -> None:
         """Drop every cached result when the index has been mutated since
@@ -243,30 +333,15 @@ class QueryService:
         )
 
     def _enter_busy(self) -> None:
-        with self._lock:
-            if self._busy_depth == 0:
-                self._busy_since = time.perf_counter()
-            self._busy_depth += 1
+        self._metrics.enter_busy()
 
     def _exit_busy(self) -> None:
-        with self._lock:
-            self._busy_depth -= 1
-            if self._busy_depth == 0:
-                self._wall_seconds += time.perf_counter() - self._busy_since
+        self._metrics.exit_busy()
 
     def _record(self, responses: Iterable[QueryResponse]) -> None:
-        with self._lock:
-            for r in responses:
-                self._latencies.append(r.latency_s)
-                self._n_queries += 1
-                self._latency_sum += r.latency_s
-                self._disk_reads += r.stats.disk_reads
+        self._metrics.record((r.latency_s, r.stats.disk_reads) for r in responses)
 
-    @staticmethod
-    def _as_request(item: Union[QueryRequest, Query], **defaults) -> QueryRequest:
-        if isinstance(item, QueryRequest):
-            return item
-        return QueryRequest(query=item, **defaults)
+    _as_request = staticmethod(as_request)
 
     def search(
         self,
@@ -347,50 +422,29 @@ class QueryService:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    @staticmethod
-    def _delta_hit_rate(now: Optional[CacheStats], base: Optional[CacheStats]) -> float:
-        if now is None or base is None:
-            return 0.0
-        hits = now.hits - base.hits
-        lookups = now.lookups - base.lookups
-        return hits / lookups if lookups > 0 else 0.0
+    _delta_hit_rate = staticmethod(delta_hit_rate)
 
     def stats(self) -> ServiceStats:
         with self._lock:
-            latencies = sorted(self._latencies)
-            n_queries = self._n_queries
-            latency_sum = self._latency_sum
-            wall = self._wall_seconds
-            disk_reads = self._disk_reads
             hicl_base, apl_base = self._hicl_base, self._apl_base
             result_hits = self._result_hits
             result_lookups = self._result_lookups
-        return ServiceStats(
-            queries=n_queries,
-            wall_seconds=wall,
-            latency_p50_s=_percentile(latencies, 0.50),
-            latency_p95_s=_percentile(latencies, 0.95),
-            latency_mean_s=latency_sum / n_queries if n_queries else 0.0,
-            hicl_cache_hit_rate=self._delta_hit_rate(
-                self.engine.index.hicl.cache_stats(), hicl_base
-            ),
-            apl_cache_hit_rate=self._delta_hit_rate(
-                self.engine.apl_cache_stats(), apl_base
-            ),
-            disk_reads=disk_reads,
-            result_cache_hits=result_hits,
-            result_cache_lookups=result_lookups,
+        stats = self._metrics.fill(ServiceStats())
+        stats.hicl_cache_hit_rate = self._delta_hit_rate(
+            self.engine.index.hicl.cache_stats(), hicl_base
         )
+        stats.apl_cache_hit_rate = self._delta_hit_rate(
+            self.engine.apl_cache_stats(), apl_base
+        )
+        stats.result_cache_hits = result_hits
+        stats.result_cache_lookups = result_lookups
+        return stats
 
     def reset_stats(self) -> None:
         """Zero the service's own accounting and re-baseline the shared
         cache counters (which live on the engine/index and keep running)."""
+        self._metrics.reset()
         with self._lock:
-            self._latencies.clear()
-            self._n_queries = 0
-            self._latency_sum = 0.0
-            self._wall_seconds = 0.0
-            self._disk_reads = 0
             self._result_hits = 0
             self._result_lookups = 0
             self._hicl_base = self.engine.index.hicl.cache_stats()

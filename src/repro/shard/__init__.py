@@ -1,0 +1,43 @@
+"""Sharded serving: partitioned GAT indexes with parallel fan-out/merge.
+
+The scale-out layer above the single-machine engine:
+
+* :class:`~repro.shard.router.ShardRouter` — trajectory-id partitioning
+  (hash or contiguous ranges); whole trajectories per shard, so per-shard
+  top-k is exact.
+* :class:`~repro.shard.index.ShardedGATIndex` — one complete GAT index
+  (own database subset, own simulated disk) per shard, with routed
+  inserts and a composite version for cache invalidation.
+* :class:`~repro.shard.service.ShardedQueryService` — fans each query out
+  across shards through a pluggable executor (serial / thread / process)
+  and k-way merges the ranked lists; results are byte-identical to the
+  unsharded engine.
+"""
+
+from repro.shard.executor import (
+    EXECUTOR_KINDS,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardEngineSpec,
+    ShardResult,
+    ShardTask,
+    ThreadShardExecutor,
+    build_shard_engine,
+)
+from repro.shard.index import ShardedGATIndex
+from repro.shard.router import ShardRouter
+from repro.shard.service import ShardedQueryService
+
+__all__ = [
+    "ShardRouter",
+    "ShardedGATIndex",
+    "ShardedQueryService",
+    "ShardTask",
+    "ShardResult",
+    "ShardEngineSpec",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "EXECUTOR_KINDS",
+    "build_shard_engine",
+]

@@ -1,0 +1,292 @@
+"""Pluggable shard fan-out executors: serial, threads, and processes.
+
+The sharded service expresses one query as ``n_shards`` independent
+:class:`ShardTask` units and hands the whole batch to an executor; how
+they run is the deployment's choice:
+
+* :class:`SerialShardExecutor` — inline, in submission order.  The
+  debugging / profiling baseline, and the reference the parity suite
+  compares the concurrent backends against.
+* :class:`ThreadShardExecutor` — a shared :class:`ThreadPoolExecutor`.
+  The default: threads overlap the shards' simulated-disk latencies and
+  the NumPy kernel sections that release the GIL, and they can run
+  against the service's own in-process engines directly.
+* :class:`ProcessShardExecutor` — a :class:`ProcessPoolExecutor` whose
+  workers each rebuild shard engines from a picklable
+  :class:`ShardEngineSpec`.  This closes the residual GIL-bound share:
+  pure-Python retrieval/validation work runs truly in parallel.  Workers
+  build a shard's engine lazily on the first task that touches it, so a
+  fleet of ``n_shards`` workers converges to roughly one engine each.
+
+Process-pool consistency: worker processes hold *snapshots* of the index.
+They cannot observe :meth:`ShardedGATIndex.insert_trajectory`, so the
+sharded service watches the composite index version and calls
+:meth:`ProcessShardExecutor.refresh` with a fresh spec after any mutation
+— the pool is torn down and re-initialised before the next query runs.
+
+Everything shipped across the process boundary (tasks, specs, ranked
+results, stats) is plain picklable data; engines, disks, and locks never
+cross.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.context import SearchStats
+from repro.core.engine import EngineConfig, GATSearchEngine
+from repro.core.query import Query
+from repro.core.results import SearchResult
+from repro.index.gat.index import GATConfig, GATIndex
+from repro.model.database import TrajectoryDatabase
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """One shard's share of one query: the request options plus the shard
+    to run them on.  Frozen and picklable — the same object crosses thread
+    and process boundaries.
+
+    ``group`` labels all tasks of one fan-out.  In-process backends use it
+    to find the query's shared merged-top-k (the distributed-top-k
+    threshold); process workers ignore it — shared memory does not cross
+    the process boundary, so that backend runs each shard to full local
+    completion.
+    """
+
+    shard_id: int
+    query: Query
+    k: int
+    order_sensitive: bool = False
+    explain: bool = False
+    group: int = 0
+
+
+@dataclass(slots=True)
+class ShardResult:
+    """One shard's ranked answer: its local top-k, its work counters, and
+    the wall time it took (the merge reports the slowest shard as the
+    query's critical path)."""
+
+    shard_id: int
+    results: Tuple[SearchResult, ...]
+    stats: SearchStats
+    latency_s: float
+
+
+ShardRunner = Callable[[ShardTask], ShardResult]
+
+
+# ----------------------------------------------------------------------
+# Picklable engine construction (the process backend's worker side)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class ShardEngineSpec:
+    """Everything a worker process needs to rebuild any shard's engine.
+
+    Carries data, never live objects: per-shard trajectory tuples, the
+    shared vocabulary, the global bounding box, and the build/engine
+    configs.  The metric rides along too (the stock metrics are stateless
+    ``__slots__ = ()`` classes, so they pickle for free)."""
+
+    db_name: str
+    vocabulary: object
+    shard_trajectories: Tuple[tuple, ...]
+    bounding_box: object
+    gat_config: GATConfig
+    engine_config: EngineConfig
+    metric: Optional[object] = None
+    #: Per-read latency of the worker-side simulated disks, carried over
+    #: from the parent's shard disks so the process backend reproduces the
+    #: same I/O cost model as the in-process engines.
+    read_latency_s: float = 0.0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_trajectories)
+
+
+def build_shard_engine(spec: ShardEngineSpec, shard_id: int) -> GATSearchEngine:
+    """Rebuild one shard's database, GAT index, and engine from a spec."""
+    from repro.storage.disk import SimulatedDisk
+
+    shard_db = TrajectoryDatabase.from_trajectories(
+        spec.shard_trajectories[shard_id],
+        spec.vocabulary,
+        name=f"{spec.db_name}/shard{shard_id}",
+    )
+    index = GATIndex.build(
+        shard_db,
+        spec.gat_config,
+        disk=SimulatedDisk(read_latency_s=spec.read_latency_s),
+        bounding_box=spec.bounding_box,
+    )
+    return GATSearchEngine(index, metric=spec.metric, config=spec.engine_config)
+
+
+def run_shard_task(
+    engine: GATSearchEngine,
+    task: ShardTask,
+    external_threshold=None,
+    result_sink=None,
+) -> ShardResult:
+    """Execute one shard task against *engine* — the single code path every
+    backend funnels through, in-process or in a worker.  The optional
+    hooks carry the cross-shard merged-top-k (see
+    :meth:`GATSearchEngine.execute`); process workers run without them."""
+    ctx = engine.execute(
+        task.query,
+        task.k,
+        order_sensitive=task.order_sensitive,
+        explain=task.explain,
+        external_threshold=external_threshold,
+        result_sink=result_sink,
+    )
+    return ShardResult(
+        shard_id=task.shard_id,
+        results=tuple(ctx.ranked if ctx.ranked is not None else ()),
+        stats=ctx.stats,
+        latency_s=ctx.latency_s,
+    )
+
+
+# Per-worker-process state: the spec arrives once via the pool initializer;
+# engines are built lazily per shard on first use.
+_WORKER_SPEC: Optional[ShardEngineSpec] = None
+_WORKER_ENGINES: Dict[int, GATSearchEngine] = {}
+
+
+def _worker_init(spec: ShardEngineSpec) -> None:
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+    _WORKER_ENGINES.clear()
+
+
+def _worker_search(task: ShardTask) -> ShardResult:
+    if _WORKER_SPEC is None:  # pragma: no cover - defensive
+        raise RuntimeError("shard worker used before initialisation")
+    engine = _WORKER_ENGINES.get(task.shard_id)
+    if engine is None:
+        engine = _WORKER_ENGINES[task.shard_id] = build_shard_engine(
+            _WORKER_SPEC, task.shard_id
+        )
+    return run_shard_task(engine, task)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class SerialShardExecutor:
+    """Runs shard tasks inline on the calling thread."""
+
+    kind = "serial"
+
+    def __init__(self, run_task: ShardRunner) -> None:
+        self._run_task = run_task
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+        return [self._run_task(task) for task in tasks]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadShardExecutor:
+    """Fan-out over a lazily created, long-lived thread pool.
+
+    The pool is shared by every concurrent ``search``/``search_many`` call,
+    so *max_workers* bounds the whole service's in-flight shard tasks —
+    size it to ``n_shards × batch concurrency`` to keep every shard busy.
+    """
+
+    kind = "thread"
+
+    def __init__(self, run_task: ShardRunner, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._run_task = run_task
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _shared_pool(self) -> ThreadPoolExecutor:
+        # Locked: concurrent first submissions (several clients hitting a
+        # fresh service) must not each create a pool and leak all but one.
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="repro-shard"
+                )
+            return self._pool
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+        return list(self._shared_pool().map(self._run_task, tasks))
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class ProcessShardExecutor:
+    """Fan-out over worker processes built from a :class:`ShardEngineSpec`.
+
+    Each worker pays a one-time engine build per shard it serves; after
+    warm-up, shard searches run GIL-free in parallel.  Best for CPU-bound
+    workloads (large candidate sets, scalar kernels, many cores); for
+    I/O-dominated serving the thread backend wins on warm-up cost.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        spec: ShardEngineSpec,
+        max_workers: Optional[int] = None,
+        mp_context=None,
+    ) -> None:
+        self.max_workers = max_workers if max_workers is not None else spec.n_shards
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._spec = spec
+        self._mp_context = mp_context
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _shared_pool(self) -> ProcessPoolExecutor:
+        # Locked like the thread backend — a raced double-create here
+        # would leak a whole pool of worker processes.
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=self._mp_context,
+                    initializer=_worker_init,
+                    initargs=(self._spec,),
+                )
+            return self._pool
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+        return list(self._shared_pool().map(_worker_search, tasks))
+
+    def refresh(self, spec: ShardEngineSpec) -> None:
+        """Replace the worker snapshot after an index mutation: tear the
+        pool down and let the next query re-initialise workers from the
+        new spec.  Idempotent when no pool has been created yet."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._spec = spec
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

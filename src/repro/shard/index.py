@@ -1,0 +1,176 @@
+"""ShardedGATIndex — one GAT index per trajectory partition.
+
+Each shard owns a full vertical slice of the storage stack: its own
+:class:`~repro.model.database.TrajectoryDatabase` subset, its own
+:class:`~repro.storage.disk.SimulatedDisk`, and a complete
+:class:`~repro.index.gat.index.GATIndex` (grid + HICL + ITL + TAS + APL)
+built over that subset.  Nothing is shared between shards except the
+vocabulary and the *global* bounding box — every shard grid spans the full
+spatial universe so inserts route anywhere and per-shard MINDIST bounds
+stay sound for arbitrary query locations.
+
+Exactness: trajectories are partitioned whole (see
+:class:`~repro.shard.router.ShardRouter`), so a shard's top-k over its own
+trajectories is the restriction of the global ranking to that shard, and a
+k-way merge of per-shard top-k lists equals the unsharded top-k —
+distances depend only on (query, trajectory), never on which shard scored
+them.
+
+Mutation: :meth:`insert_trajectory` routes to the owning shard and bumps
+that shard's version counter; :attr:`version` exposes the *composite*
+tuple of per-shard versions, so result caches keyed on it are invalidated
+by an insert into any shard — including inserts issued directly against a
+shard's own :class:`GATIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.index.gat.index import GATConfig, GATIndex
+from repro.model.database import TrajectoryDatabase
+from repro.shard.router import ShardRouter
+from repro.storage.cache import CacheStats
+from repro.storage.disk import DiskStats, SimulatedDisk
+
+
+class ShardedGATIndex:
+    """A fleet of per-partition GAT indexes behind one routing facade."""
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        router: ShardRouter,
+        shards: List[GATIndex],
+    ) -> None:
+        if len(shards) != router.n_shards:
+            raise ValueError("one GATIndex per router shard required")
+        self.db = db
+        self.router = router
+        self.shards = list(shards)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        db: TrajectoryDatabase,
+        n_shards: int = 2,
+        config: Optional[GATConfig] = None,
+        strategy: str = "hash",
+        router: Optional[ShardRouter] = None,
+        disk_factory: Optional[Callable[[], SimulatedDisk]] = None,
+    ) -> "ShardedGATIndex":
+        """Partition *db* and build one complete GAT index per shard.
+
+        Parameters
+        ----------
+        n_shards / strategy / router:
+            Either pass a prebuilt :class:`ShardRouter` or let one be
+            derived from the database (``hash`` by default).
+        config:
+            The per-shard :class:`GATConfig` (every shard uses the same
+            build knobs so merged rankings compare like for like).
+        disk_factory:
+            Called once per shard to create its simulated disk — inject
+            per-read latency here for serving benchmarks.  Defaults to a
+            fresh zero-latency :class:`SimulatedDisk` per shard.
+
+        Every shard must end up non-empty: a GAT index needs at least one
+        trajectory, and an accidentally empty shard almost always means the
+        shard count outgrew the dataset (or a pathological id distribution
+        defeated hash routing) — fail loudly instead of serving a silently
+        degraded fleet.
+        """
+        if router is None:
+            router = ShardRouter.for_database(db, n_shards, strategy)
+        parts = router.partition(tr.trajectory_id for tr in db)
+        empty = [sid for sid, part in enumerate(parts) if not part]
+        if empty:
+            raise ValueError(
+                f"shards {empty} would be empty ({len(db)} trajectories over "
+                f"{router.n_shards} {router.strategy!r} shards); lower n_shards "
+                "or use range routing"
+            )
+        box = db.bounding_box
+        shards: List[GATIndex] = []
+        for part in parts:
+            shard_db = TrajectoryDatabase.from_trajectories(
+                [db.get(tid) for tid in part],
+                db.vocabulary,
+                name=f"{db.name}/shard{len(shards)}",
+            )
+            disk = disk_factory() if disk_factory is not None else SimulatedDisk()
+            shards.append(
+                GATIndex.build(shard_db, config, disk=disk, bounding_box=box)
+            )
+        return cls(db, router, shards)
+
+    # ------------------------------------------------------------------
+    # Routing / mutation
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.router.n_shards
+
+    def shard_of(self, trajectory_id: int) -> int:
+        return self.router.shard_of(trajectory_id)
+
+    @property
+    def version(self) -> Tuple[int, ...]:
+        """Composite mutation counter: the tuple of per-shard versions.
+
+        Reading through to the shards (instead of keeping a counter here)
+        means even an insert issued directly against one shard's
+        :class:`GATIndex` moves the composite, so cross-shard result caches
+        can never serve pre-insert rankings.
+        """
+        return tuple(shard.version for shard in self.shards)
+
+    def insert_trajectory(self, trajectory) -> None:
+        """Insert one trajectory into its owning shard (and the global
+        registry).  Requires exclusive access, like the single-index
+        mutator: quiesce any sharded service around maintenance.
+
+        The global id-freshness check runs first — the shard database only
+        knows its own ids, and a duplicate living on *another* shard must
+        be rejected before any index is touched.
+        """
+        tid = trajectory.trajectory_id
+        if tid in self.db:
+            raise ValueError(f"trajectory id {tid} already present")
+        shard = self.shards[self.shard_of(tid)]
+        shard.insert_trajectory(trajectory)  # validates the bounding box
+        self.db.add(trajectory)
+
+    # ------------------------------------------------------------------
+    # Aggregate accounting (fleet-wide views; per-shard detail stays on
+    # each GATIndex)
+    # ------------------------------------------------------------------
+    def memory_cost_bytes(self) -> int:
+        return sum(shard.memory_cost_bytes() for shard in self.shards)
+
+    def disk_cost_bytes(self) -> int:
+        return sum(shard.disk_cost_bytes() for shard in self.shards)
+
+    def disk_stats(self) -> DiskStats:
+        """Summed logical-I/O counters over every shard disk."""
+        total = DiskStats()
+        for shard in self.shards:
+            total.merge(shard.disk.stats)
+        return total
+
+    def hicl_cache_stats(self) -> CacheStats:
+        """Combined HICL cell-list cache accounting across shards."""
+        return CacheStats.combined([shard.hicl.cache_stats() for shard in self.shards])
+
+    def __len__(self) -> int:
+        return sum(len(shard.db) for shard in self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = "+".join(str(len(shard.db)) for shard in self.shards)
+        return (
+            f"ShardedGATIndex({self.n_shards} shards [{sizes}], "
+            f"strategy={self.router.strategy!r})"
+        )

@@ -1,0 +1,118 @@
+"""ShardRouter — trajectory-id partitioning for the sharded GAT index.
+
+Sharding is by *trajectory*: every trajectory lives wholly inside exactly
+one shard, so a shard's top-k over its own trajectories is exact, and
+merging per-shard ranked lists reproduces the unsharded ranking
+byte-for-byte (distances are functions of (query, trajectory) alone).
+Partitioning the *grid* instead would split one trajectory's points
+across shards and turn per-shard scores into partial sums — every merge
+would need a cross-shard repair pass.
+
+Two strategies:
+
+* ``hash`` — ``trajectory_id mod n_shards``.  Stateless, uniform for the
+  dense sequential ids our generators produce, and inserts route without
+  consulting any directory.
+* ``range`` — contiguous id ranges, computed once from the ids present at
+  build time.  Keeps id-adjacent trajectories (often crawled together)
+  co-resident, which matters when shards are rebuilt or migrated in id
+  order; inserts route by binary search over the range starts, with ids
+  beyond the last boundary landing on the last shard.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Sequence
+
+STRATEGIES = ("hash", "range")
+
+
+class ShardRouter:
+    """Maps a trajectory id to the shard that owns it.
+
+    Build through :meth:`for_ids` / :meth:`for_database` for the ``range``
+    strategy (it needs the build-time id population); ``hash`` routers can
+    be constructed directly.
+    """
+
+    __slots__ = ("n_shards", "strategy", "_range_starts")
+
+    def __init__(
+        self,
+        n_shards: int,
+        strategy: str = "hash",
+        range_starts: Optional[Sequence[int]] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+        if strategy == "range":
+            if range_starts is None:
+                raise ValueError(
+                    "range routing needs range_starts (build via ShardRouter.for_ids)"
+                )
+            if len(range_starts) != n_shards:
+                raise ValueError("range_starts must hold one start per shard")
+            if list(range_starts) != sorted(set(range_starts)):
+                raise ValueError("range_starts must be strictly increasing")
+        elif range_starts is not None:
+            raise ValueError("range_starts only applies to the range strategy")
+        self.n_shards = n_shards
+        self.strategy = strategy
+        self._range_starts: Optional[List[int]] = (
+            list(range_starts) if range_starts is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Construction from data
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_ids(
+        cls, trajectory_ids: Iterable[int], n_shards: int, strategy: str = "hash"
+    ) -> "ShardRouter":
+        """A router sized to the ids present at build time.
+
+        ``range`` cuts the sorted ids into ``n_shards`` contiguous chunks
+        of near-equal cardinality and records each chunk's first id as the
+        shard boundary.  ``hash`` ignores the ids (kept in the signature so
+        callers can switch strategies without changing call sites).
+        """
+        if strategy != "range":
+            return cls(n_shards, strategy)
+        ids = sorted(set(trajectory_ids))
+        if len(ids) < n_shards:
+            raise ValueError(
+                f"range routing needs at least one trajectory per shard "
+                f"({len(ids)} ids for {n_shards} shards)"
+            )
+        starts = [ids[(len(ids) * s) // n_shards] for s in range(n_shards)]
+        return cls(n_shards, "range", range_starts=starts)
+
+    @classmethod
+    def for_database(cls, db, n_shards: int, strategy: str = "hash") -> "ShardRouter":
+        """A router over *db*'s current trajectory ids."""
+        return cls.for_ids((tr.trajectory_id for tr in db), n_shards, strategy)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_of(self, trajectory_id: int) -> int:
+        """The shard owning *trajectory_id* (total: every id routes, so
+        freshly inserted trajectories always have a home)."""
+        if self.strategy == "hash":
+            return trajectory_id % self.n_shards
+        # Range: the last shard whose start is <= id; ids below the first
+        # boundary clamp to shard 0, ids beyond the last to the last shard.
+        return max(0, bisect_right(self._range_starts, trajectory_id) - 1)
+
+    def partition(self, trajectory_ids: Iterable[int]) -> List[List[int]]:
+        """Split ids into per-shard lists (input order preserved per shard)."""
+        parts: List[List[int]] = [[] for _ in range(self.n_shards)]
+        for tid in trajectory_ids:
+            parts[self.shard_of(tid)].append(tid)
+        return parts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardRouter(n_shards={self.n_shards}, strategy={self.strategy!r})"

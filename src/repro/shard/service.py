@@ -1,0 +1,428 @@
+"""ShardedQueryService — parallel fan-out/merge over a ShardedGATIndex.
+
+Every query becomes ``n_shards`` independent :class:`ShardTask` units; a
+pluggable executor (serial / thread / process, see
+:mod:`repro.shard.executor`) runs them, and the per-shard ranked lists are
+merged in a :class:`~repro.core.results.TopKCollector` — the same
+collector the engine itself uses, so tie-breaks (distance, then
+trajectory id) are identical and the merged ranking matches the unsharded
+engine byte-for-byte.
+
+Batches are *flattened*: ``search_many`` submits every (query, shard)
+task into one pool, so batch-level and intra-query parallelism share the
+same worker budget and no shard sits idle while another query's slowest
+shard finishes.  Responses keep request order.
+
+Statistics aggregate without double-counting: each shard runs on its own
+disk, caches, and counters, so a query's :class:`SearchStats` is the plain
+field-wise sum over its shards (``SearchStats.merge``), and the service's
+cache hit rates sum hits/lookups across the per-shard caches.  A query's
+``latency_s`` is its *critical path* — the slowest shard's engine time.
+
+Result cache: identical requests are memoised exactly like
+:class:`~repro.service.service.QueryService`, keyed by the same query
+signature, but invalidation watches the **composite** index version (the
+tuple of per-shard versions), so an insert into any shard drops the cache.
+With the process backend an insert additionally refreshes the worker
+snapshot: worker processes rebuild their engines from a fresh spec before
+the next query runs.  As with the single index, inserts must quiesce the
+service.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.context import SearchStats
+from repro.core.engine import EngineConfig, GATSearchEngine
+from repro.core.query import Query
+from repro.core.results import TopKCollector
+from repro.model.distance import DistanceMetric
+from repro.service.service import (
+    QueryRequest,
+    QueryResponse,
+    ServiceStats,
+    ServingMetrics,
+    as_request,
+    delta_hit_rate,
+    request_cache_key,
+)
+from repro.shard.executor import (
+    EXECUTOR_KINDS,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardEngineSpec,
+    ShardResult,
+    ShardTask,
+    ThreadShardExecutor,
+    run_shard_task,
+)
+from repro.shard.index import ShardedGATIndex
+from repro.storage.cache import CacheStats, LRUCache
+
+
+class _SharedTopK:
+    """One query's cross-shard merged top-k, shared by its shard tasks.
+
+    Every result entering any shard's local top-k is offered here; the
+    collector's k-th distance is the *distributed-top-k threshold* each
+    shard prunes and terminates against.  The per-shard local bound is
+    weak (a shard's k-th best over its slice is far worse than the global
+    k-th), so sharing the merged bound is what keeps a shard's retrieval
+    close to its fair share of the work instead of each shard re-proving
+    the whole termination condition alone.
+    """
+
+    __slots__ = ("_lock", "_collector")
+
+    def __init__(self, k: int) -> None:
+        self._lock = threading.Lock()
+        self._collector = TopKCollector(k)
+
+    def offer(self, result) -> None:
+        with self._lock:
+            self._collector.offer(result)
+
+    def kth_distance(self) -> float:
+        with self._lock:
+            return self._collector.kth_distance()
+
+
+class ShardedQueryService:
+    """Query serving across a :class:`ShardedGATIndex`.
+
+    Parameters
+    ----------
+    index:
+        The sharded index fleet.
+    metric / engine_config:
+        Shared by every per-shard :class:`GATSearchEngine` (and shipped to
+        process workers), so all shards score identically.
+    executor:
+        ``'thread'`` (default), ``'process'``, or ``'serial'``.
+    max_workers:
+        Width of the fan-out pool.  Thread default is ``4 × n_shards``
+        (four queries' worth of shard tasks in flight); process default is
+        one worker per shard.  Ignored by the serial backend.
+    result_cache_size:
+        Query-signature result cache capacity (``0`` disables), shared
+        across shards and invalidated on the composite index version.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the process backend.
+    """
+
+    _MISS = object()
+
+    def __init__(
+        self,
+        index: ShardedGATIndex,
+        metric: Optional[DistanceMetric] = None,
+        engine_config: Optional[EngineConfig] = None,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+        result_cache_size: int = 1024,
+        mp_context=None,
+    ) -> None:
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        if result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")
+        self.index = index
+        self.metric = metric
+        self.engine_config = (
+            engine_config if engine_config is not None else EngineConfig()
+        )
+        self.engines: List[GATSearchEngine] = [
+            GATSearchEngine(shard, metric=metric, config=self.engine_config)
+            for shard in index.shards
+        ]
+        if executor == "serial":
+            self._executor = SerialShardExecutor(self._run_task)
+        elif executor == "thread":
+            width = max_workers if max_workers is not None else 4 * index.n_shards
+            self._executor = ThreadShardExecutor(self._run_task, width)
+        else:
+            self._executor = ProcessShardExecutor(
+                self._make_spec(), max_workers=max_workers, mp_context=mp_context
+            )
+        self._result_cache: Optional[LRUCache] = (
+            LRUCache(result_cache_size) if result_cache_size > 0 else None
+        )
+        self._lock = threading.Lock()
+        # Per-in-flight-query shared merged top-k, keyed by task group
+        # (thread/serial backends only; process workers cannot see it).
+        self._shared: Dict[int, _SharedTopK] = {}
+        self._group_ids = itertools.count(1)
+        self._index_version: Tuple[int, ...] = index.version
+        self._result_hits = 0
+        self._result_lookups = 0
+        self._metrics = ServingMetrics()
+        self._hicl_base: CacheStats = index.hicl_cache_stats()
+        self._apl_base: Optional[CacheStats] = self._apl_cache_stats()
+
+    # ------------------------------------------------------------------
+    # Executor plumbing
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.index.n_shards
+
+    @property
+    def executor_kind(self) -> str:
+        return self._executor.kind
+
+    def _run_task(self, task: ShardTask) -> ShardResult:
+        """In-process task runner (serial and thread backends): shard
+        tasks of one query prune against their shared merged top-k."""
+        shared = self._shared.get(task.group)
+        if shared is None:  # defensive: run standalone, still exact
+            return run_shard_task(self.engines[task.shard_id], task)
+        return run_shard_task(
+            self.engines[task.shard_id],
+            task,
+            external_threshold=shared.kth_distance,
+            result_sink=shared.offer,
+        )
+
+    def _make_spec(self) -> ShardEngineSpec:
+        """A picklable snapshot of the current fleet for process workers."""
+        shard0 = self.index.shards[0]
+        return ShardEngineSpec(
+            db_name=self.index.db.name,
+            vocabulary=self.index.db.vocabulary,
+            shard_trajectories=tuple(
+                tuple(shard.db.trajectories) for shard in self.index.shards
+            ),
+            bounding_box=shard0.grid.box,
+            gat_config=shard0.config,
+            engine_config=self.engine_config,
+            metric=self.metric,
+            read_latency_s=shard0.disk.read_latency_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache + version handling
+    # ------------------------------------------------------------------
+    def _check_version(self) -> Tuple[int, ...]:
+        """Invalidate on composite-version movement; with the process
+        backend also schedule a worker-snapshot refresh.  Returns the
+        version the caller's lookups/puts are valid against."""
+        version = self.index.version
+        if version != self._index_version:
+            with self._lock:
+                if version != self._index_version:
+                    if self._result_cache is not None:
+                        self._result_cache.clear()
+                    if isinstance(self._executor, ProcessShardExecutor):
+                        self._executor.refresh(self._make_spec())
+                    self._index_version = version
+        return self._index_version
+
+    def _cache_lookup(self, request: QueryRequest) -> Optional[QueryResponse]:
+        if self._result_cache is None:
+            return None
+        t0 = time.perf_counter()
+        cached = self._result_cache.get(request_cache_key(request), self._MISS)
+        hit = cached is not self._MISS
+        with self._lock:
+            self._result_lookups += 1
+            if hit:
+                self._result_hits += 1
+        if not hit:
+            return None
+        return QueryResponse(
+            request=request,
+            results=list(cached),
+            stats=SearchStats(),
+            latency_s=time.perf_counter() - t0,
+        )
+
+    def _cache_put(
+        self, request: QueryRequest, response: QueryResponse, version: Tuple[int, ...]
+    ) -> None:
+        if self._result_cache is None:
+            return
+        # Version-guarded, like QueryService: an insert landing while the
+        # fan-out ran must not re-cache pre-insert rankings after the sweep.
+        with self._lock:
+            if self._index_version == version:
+                self._result_cache.put(
+                    request_cache_key(request), tuple(response.results)
+                )
+
+    # ------------------------------------------------------------------
+    # Fan-out / merge
+    # ------------------------------------------------------------------
+    def _tasks_for(self, request: QueryRequest, group: int) -> List[ShardTask]:
+        return [
+            ShardTask(
+                shard_id=sid,
+                query=request.query,
+                k=request.k,
+                order_sensitive=request.order_sensitive,
+                explain=request.explain,
+                group=group,
+            )
+            for sid in range(self.n_shards)
+        ]
+
+    @staticmethod
+    def _merge(
+        request: QueryRequest, shard_results: Sequence[ShardResult]
+    ) -> QueryResponse:
+        """k-way merge of per-shard rankings plus stats aggregation."""
+        collector = TopKCollector(request.k)
+        for shard_result in shard_results:
+            for result in shard_result.results:
+                collector.offer(result)
+        return QueryResponse(
+            request=request,
+            results=collector.results(),
+            stats=SearchStats.merged([r.stats for r in shard_results]),
+            latency_s=max(r.latency_s for r in shard_results),
+        )
+
+    def _run_many(self, requests: Sequence[QueryRequest]) -> List[QueryResponse]:
+        version = self._check_version()
+        responses: List[Optional[QueryResponse]] = [None] * len(requests)
+        pending: List[int] = []
+        for i, request in enumerate(requests):
+            cached = self._cache_lookup(request)
+            if cached is not None:
+                responses[i] = cached
+            else:
+                pending.append(i)
+        if pending:
+            tasks: List[ShardTask] = []
+            groups: List[int] = []
+            in_process = not isinstance(self._executor, ProcessShardExecutor)
+            for i in pending:
+                group = next(self._group_ids)
+                groups.append(group)
+                if in_process:
+                    with self._lock:
+                        self._shared[group] = _SharedTopK(requests[i].k)
+                tasks.extend(self._tasks_for(requests[i], group))
+            try:
+                results = self._executor.run(tasks)
+            finally:
+                if in_process:
+                    with self._lock:
+                        for group in groups:
+                            self._shared.pop(group, None)
+            n = self.n_shards
+            for offset, i in enumerate(pending):
+                shard_results = results[offset * n : (offset + 1) * n]
+                response = self._merge(requests[i], shard_results)
+                self._cache_put(requests[i], response, version)
+                responses[i] = response
+        return responses  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Serving API (mirrors QueryService)
+    # ------------------------------------------------------------------
+    _as_request = staticmethod(as_request)
+
+    def search(
+        self,
+        query: Union[QueryRequest, Query],
+        k: int = 10,
+        order_sensitive: bool = False,
+        explain: bool = False,
+    ) -> QueryResponse:
+        """Answer one query across every shard and merge."""
+        request = self._as_request(
+            query, k=k, order_sensitive=order_sensitive, explain=explain
+        )
+        self._metrics.enter_busy()
+        try:
+            response = self._run_many([request])[0]
+        finally:
+            self._metrics.exit_busy()
+        self._metrics.record([(response.latency_s, response.stats.disk_reads)])
+        return response
+
+    def search_many(
+        self,
+        queries: Sequence[Union[QueryRequest, Query]],
+        k: int = 10,
+        order_sensitive: bool = False,
+    ) -> List[QueryResponse]:
+        """Answer a batch; response ``i`` answers request ``i``.
+
+        The whole batch's shard tasks share one flattened submission, so
+        concurrency across queries and across shards comes from the same
+        pool — no per-query barrier.
+        """
+        requests = [
+            self._as_request(q, k=k, order_sensitive=order_sensitive) for q in queries
+        ]
+        self._metrics.enter_busy()
+        try:
+            responses = self._run_many(requests)
+        finally:
+            self._metrics.exit_busy()
+        self._metrics.record(
+            (r.latency_s, r.stats.disk_reads) for r in responses
+        )
+        return responses
+
+    def close(self) -> None:
+        """Shut down the fan-out executor and the per-shard engines'
+        auxiliary pools (idempotent)."""
+        self._executor.close()
+        for engine in self.engines:
+            engine.close()
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _apl_cache_stats(self) -> Optional[CacheStats]:
+        return CacheStats.combined(
+            [engine.apl_cache_stats() for engine in self.engines]
+        )
+
+    _delta_hit_rate = staticmethod(delta_hit_rate)
+
+    def stats(self) -> ServiceStats:
+        """Fleet-wide :class:`ServiceStats`.
+
+        Cache hit rates sum hits/lookups across the per-shard HICL caches
+        and engine APL caches (each lookup happened on exactly one shard).
+        With the process backend the in-process caches are bypassed —
+        worker processes own their engines — so those rates read 0.
+        """
+        with self._lock:
+            hicl_base, apl_base = self._hicl_base, self._apl_base
+            result_hits = self._result_hits
+            result_lookups = self._result_lookups
+        stats = self._metrics.fill(ServiceStats())
+        stats.hicl_cache_hit_rate = self._delta_hit_rate(
+            self.index.hicl_cache_stats(), hicl_base
+        )
+        stats.apl_cache_hit_rate = self._delta_hit_rate(
+            self._apl_cache_stats(), apl_base
+        )
+        stats.result_cache_hits = result_hits
+        stats.result_cache_lookups = result_lookups
+        return stats
+
+    def reset_stats(self) -> None:
+        """Zero the service accounting and re-baseline the shard caches."""
+        self._metrics.reset()
+        with self._lock:
+            self._result_hits = 0
+            self._result_lookups = 0
+            self._hicl_base = self.index.hicl_cache_stats()
+            self._apl_base = self._apl_cache_stats()

@@ -36,6 +36,25 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @classmethod
+    def combined(cls, parts: "list[Optional[CacheStats]]") -> Optional["CacheStats"]:
+        """Sum several caches' accounting into one snapshot.
+
+        Used by the sharded layers to report fleet-wide hit rates: each
+        shard owns its own cache, so hits/misses/sizes/capacities add up
+        without double-counting.  ``None`` entries (disabled caches) are
+        skipped; all-``None`` input returns ``None``.
+        """
+        present = [p for p in parts if p is not None]
+        if not present:
+            return None
+        return cls(
+            hits=sum(p.hits for p in present),
+            misses=sum(p.misses for p in present),
+            size=sum(p.size for p in present),
+            capacity=sum(p.capacity for p in present),
+        )
+
 
 class LRUCache:
     """Bounded least-recently-used mapping, safe for concurrent readers.

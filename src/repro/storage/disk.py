@@ -71,6 +71,17 @@ class DiskStats:
             self.bytes_written - earlier.bytes_written,
         )
 
+    def merge(self, other: "DiskStats") -> None:
+        """Accumulate another disk's counters into this one (the sharded
+        index sums its per-shard disks into one fleet-wide view; each read
+        happened on exactly one shard disk, so summing never double-counts)."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.pages_read += other.pages_read
+        self.pages_written += other.pages_written
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
 
 @dataclass(slots=True)
 class _Record:

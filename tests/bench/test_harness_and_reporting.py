@@ -80,6 +80,16 @@ class TestHarness:
         with pytest.raises(ValueError):
             h.run_service_batch(queries, k=3)
 
+    @pytest.mark.parametrize("n_clients", [1, 3])
+    def test_run_sharded_batch(self, harness, queries, n_clients):
+        timing = harness.run_sharded_batch(
+            queries, k=3, n_shards=2, executor="thread", n_clients=n_clients
+        )
+        assert timing.method == "GAT/2sh×thread"
+        assert timing.n_queries == len(queries)
+        assert timing.total_seconds > 0.0
+        assert {"qps", "p50_ms", "p95_ms", "disk_reads"} <= set(timing.extra)
+
 
 class TestReporting:
     def _fake_results(self):

@@ -125,3 +125,29 @@ class TestNodeGeometry:
         tree = RTree.bulk_load(_points(256, seed=11), max_entries=16)
         # At least ceil(256/16) leaves plus internal nodes, far fewer than entries.
         assert 17 <= tree.node_count() <= 64
+
+    def test_child_min_dists_match_scalar(self):
+        """The batched NumPy candidate distances agree with the per-child
+        scalar computation on every node, leaf and internal, for query
+        points inside, outside, and axis-aligned with the rects."""
+        tree = RTree.bulk_load(_points(400, seed=12), max_entries=16)
+        rng = random.Random(13)
+        queries = [(rng.uniform(-120, 220), rng.uniform(-120, 220)) for _ in range(6)]
+        # Axis-aligned with a node edge: exercises the dx==0 / dy==0 exact
+        # branches of the scalar MINDIST.
+        queries.append((tree.root.rect.min_x, -50.0))
+        queries.append((250.0, tree.root.rect.max_y))
+
+        def walk(node):
+            for q in queries:
+                got = node.child_min_dists(q)
+                if node.is_leaf:
+                    want = [math.hypot(q[0] - e.x, q[1] - e.y) for e in node.children]
+                else:
+                    want = [child.rect.min_dist(q) for child in node.children]
+                assert got == pytest.approx(want, rel=1e-12, abs=1e-12)
+            if not node.is_leaf:
+                for child in node.children:
+                    walk(child)
+
+        walk(tree.root)

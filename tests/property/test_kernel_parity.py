@@ -200,3 +200,69 @@ def test_dmom_prepared_matches_scalar_dp(qraw, traw):
     cand = kernels.prepare_candidate(qk, trajectory)
     got = INFINITY if cand is None else kernels.dmom_prepared(qk, cand)
     assert _close(got, want)
+
+
+# ----------------------------------------------------------------------
+# Row-vectorized Dmom (single-activity query points)
+# ----------------------------------------------------------------------
+finite_or_inf_st = st.one_of(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    st.just(INFINITY),
+)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            finite_or_inf_st,
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=300, deadline=None)
+def test_dmom_single_activity_row_numpy_is_bit_identical(cells):
+    """The NumPy prefix-min/segment-min row equals the scalar recurrence
+    *exactly* — same additions, same mins, same order — including inf
+    guardian values and all-masked-out rows."""
+    prev = [0.0] + [p for p, _d, _m in cells]
+    row = [d for _p, d, _m in cells]
+    mrow = [1 if m else 0 for _p, _d, m in cells]
+    assert kernels._dmom_row_single_np(prev, row, mrow) == kernels._dmom_row_single(
+        prev, row, mrow
+    )
+
+
+class _TabulatedEuclid:
+    """Euclidean distance behind an opaque type: QueryKernel falls back to
+    per-pair metric calls (its 'generic' mode), so the scalar DP and the
+    vectorized row scan see *identical* distances and any difference would
+    come from the recurrence itself."""
+
+    def __call__(self, a, b):
+        return EUCLID(a, b)
+
+
+single_act_query_st = st.lists(
+    st.tuples(coord_st, coord_st, st.integers(min_value=0, max_value=5)),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(single_act_query_st, trajectory_st)
+@settings(max_examples=150, deadline=None)
+def test_dmom_single_activity_queries_exact_vs_scalar_oracle(qraw, traw):
+    """End to end, a query of single-activity points (the row-vectorized
+    fast path) scores every trajectory exactly like the scalar Algorithm 4
+    when both paths share per-pair distances."""
+    metric = _TabulatedEuclid()
+    query = Query([QueryPoint(x, y, frozenset({a})) for x, y, a in qraw])
+    trajectory = _trajectory(traw)
+    want = minimum_order_match_distance(query, trajectory, metric)
+    qk = QueryKernel(query, metric)
+    cand = kernels.prepare_candidate(qk, trajectory)
+    got = INFINITY if cand is None else kernels.dmom_prepared(qk, cand)
+    assert got == want  # exact, not approximate

@@ -1,0 +1,76 @@
+"""Unit tests for the trajectory-id shard router."""
+
+import pytest
+
+from repro.shard.router import ShardRouter
+
+
+class TestConstruction:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, strategy="rendezvous")
+
+    def test_range_needs_starts(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, strategy="range")
+
+    def test_range_starts_must_match_shards_and_increase(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, strategy="range", range_starts=[0])
+        with pytest.raises(ValueError):
+            ShardRouter(2, strategy="range", range_starts=[5, 5])
+
+    def test_hash_rejects_starts(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, strategy="hash", range_starts=[0, 5])
+
+    def test_range_needs_enough_ids(self):
+        with pytest.raises(ValueError):
+            ShardRouter.for_ids([1, 2], 3, strategy="range")
+
+
+class TestRouting:
+    @pytest.mark.parametrize("strategy", ["hash", "range"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 7])
+    def test_partition_is_total_and_disjoint(self, strategy, n_shards):
+        ids = list(range(0, 100, 3))
+        router = ShardRouter.for_ids(ids, n_shards, strategy)
+        parts = router.partition(ids)
+        assert len(parts) == n_shards
+        flat = [tid for part in parts for tid in part]
+        assert sorted(flat) == sorted(ids)  # every id in exactly one shard
+        for sid, part in enumerate(parts):
+            assert all(router.shard_of(tid) == sid for tid in part)
+
+    def test_hash_is_modulo(self):
+        router = ShardRouter(4)
+        assert [router.shard_of(t) for t in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_range_partitions_are_contiguous_and_balanced(self):
+        ids = list(range(40))
+        router = ShardRouter.for_ids(ids, 4, "range")
+        parts = router.partition(ids)
+        assert [len(p) for p in parts] == [10, 10, 10, 10]
+        for part in parts:
+            assert part == list(range(part[0], part[0] + len(part)))
+
+    def test_range_routes_fresh_ids(self):
+        """Inserted ids beyond (or between) the build-time population
+        still route deterministically: below the first boundary to shard
+        0, above the last to the final shard, gaps to the covering range."""
+        router = ShardRouter.for_ids([10, 20, 30, 40], 2, "range")
+        assert router.shard_of(5) == 0
+        assert router.shard_of(25) == 0
+        assert router.shard_of(35) == 1
+        assert router.shard_of(10_000) == 1
+
+    def test_stability(self):
+        """shard_of never changes for a given router — the whole exactness
+        argument rests on a trajectory living in exactly one shard."""
+        router = ShardRouter.for_ids(range(50), 3, "range")
+        first = [router.shard_of(t) for t in range(80)]
+        assert first == [router.shard_of(t) for t in range(80)]

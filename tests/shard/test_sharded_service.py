@@ -1,0 +1,187 @@
+"""ShardedQueryService behaviour: result cache, invalidation, stats."""
+
+import copy
+
+import pytest
+
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.index.gat.index import GATConfig
+from repro.model.point import TrajectoryPoint
+from repro.model.trajectory import ActivityTrajectory
+from repro.core.query import Query, QueryPoint
+from repro.shard import ShardedGATIndex, ShardedQueryService
+from repro.storage.disk import SimulatedDisk
+
+CONFIG = GATConfig(depth=4, memory_levels=3)
+
+
+@pytest.fixture()
+def db(tiny_db):
+    # Mutating tests get their own copy; the session fixture stays pristine.
+    return copy.deepcopy(tiny_db)
+
+
+def _query_for(db, seed=17):
+    gen = QueryWorkloadGenerator(
+        db, WorkloadConfig(n_query_points=2, n_activities_per_point=2, seed=seed)
+    )
+    return gen.query()
+
+
+def _perfect_match_insert(db, query_points):
+    """A fresh trajectory that matches *query_points* at distance zero."""
+    tid = max(tr.trajectory_id for tr in db) + 1
+    return ActivityTrajectory(
+        tid, [TrajectoryPoint(p.x, p.y, frozenset(p.activities)) for p in query_points]
+    )
+
+
+class TestResultCache:
+    def test_repeat_is_served_from_cache(self, db):
+        sharded = ShardedGATIndex.build(db, n_shards=3, config=CONFIG)
+        with ShardedQueryService(sharded, executor="serial") as service:
+            query = _query_for(db)
+            first = service.search(query, k=4)
+            second = service.search(query, k=4)
+            assert second.stats.rounds == 0  # zero engine work
+            assert [
+                (r.trajectory_id, r.distance) for r in second.results
+            ] == [(r.trajectory_id, r.distance) for r in first.results]
+            stats = service.stats()
+            assert stats.result_cache_lookups == 2
+            assert stats.result_cache_hits == 1
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_insert_into_any_shard_invalidates(self, db, executor):
+        """Cross-shard invalidation: the insert lands on *one* shard, yet
+        every cached result — whichever shards produced it — is dropped,
+        and the recomputed answer sees the new trajectory.  With the
+        process backend this also exercises the worker-snapshot refresh
+        (stale workers could never return the new trajectory)."""
+        sharded = ShardedGATIndex.build(db, n_shards=3, config=CONFIG)
+        with ShardedQueryService(sharded, executor=executor) as service:
+            query = _query_for(db)
+            service.search(query, k=3)
+            cached = service.search(query, k=3)
+            assert cached.stats.rounds == 0
+
+            new_tr = _perfect_match_insert(db, list(query))
+            sharded.insert_trajectory(new_tr)
+
+            refreshed = service.search(query, k=3)
+            assert refreshed.stats.rounds > 0  # recomputed, not served stale
+            assert refreshed.results[0].trajectory_id == new_tr.trajectory_id
+            assert refreshed.results[0].distance == 0.0
+
+    def test_direct_shard_insert_also_invalidates(self, db):
+        """The composite version reads through to the shards, so even an
+        insert issued against one shard's GATIndex (bypassing the facade)
+        drops the cache."""
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        with ShardedQueryService(sharded, executor="serial") as service:
+            query = _query_for(db)
+            service.search(query, k=3)
+            assert service.search(query, k=3).stats.rounds == 0
+
+            new_tr = _perfect_match_insert(db, list(query))
+            owner = sharded.shard_of(new_tr.trajectory_id)
+            sharded.shards[owner].insert_trajectory(new_tr)
+
+            assert service.search(query, k=3).stats.rounds > 0
+
+    def test_cache_disabled(self, db):
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as service:
+            query = _query_for(db)
+            service.search(query, k=3)
+            again = service.search(query, k=3)
+            assert again.stats.rounds > 0
+            assert service.stats().result_cache_lookups == 0
+
+
+class TestAggregatedStats:
+    def test_disk_reads_sum_over_shards(self, db):
+        sharded = ShardedGATIndex.build(
+            db, n_shards=3, config=CONFIG, disk_factory=SimulatedDisk
+        )
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as service:
+            response = service.search(_query_for(db), k=4)
+        per_shard_reads = sum(shard.disk.stats.reads for shard in sharded.shards)
+        assert response.stats.disk_reads == per_shard_reads
+        assert service.stats().disk_reads == response.stats.disk_reads
+
+    def test_search_stats_merge_sums_every_field(self):
+        """SearchStats.merge is field-driven: every declared counter sums,
+        so a newly added counter can never silently vanish from the
+        sharded aggregate."""
+        from dataclasses import fields
+
+        from repro.core.context import SearchStats
+
+        a, b = SearchStats(), SearchStats()
+        for i, f in enumerate(fields(SearchStats)):
+            setattr(a, f.name, i + 1)
+            setattr(b, f.name, 100 * (i + 1))
+        total = SearchStats.merged([a, b])
+        for i, f in enumerate(fields(SearchStats)):
+            assert getattr(total, f.name) == 101 * (i + 1), f.name
+
+    def test_shared_threshold_never_increases_work(self, db):
+        """The distributed-top-k threshold only ever *prunes*: a fan-out
+        query's merged counters are bounded by running each shard engine
+        standalone (each shard re-proving termination alone), while every
+        shard still contributes at least one retrieval round."""
+        from repro.core.context import SearchStats
+        from repro.core.engine import GATSearchEngine
+
+        sharded = ShardedGATIndex.build(db, n_shards=3, config=CONFIG)
+        query = _query_for(db)
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as service:
+            merged = service.search(query, k=4).stats
+        standalone = SearchStats.merged(
+            [
+                GATSearchEngine(shard, apl_cache_size=0).execute(query, 4).stats
+                for shard in sharded.shards
+            ]
+        )
+        assert merged.rounds >= 3  # every shard ran
+        for field in (
+            "cells_popped",
+            "candidates_retrieved",
+            "validated",
+            "distance_computations",
+        ):
+            assert 0 < getattr(merged, field) <= getattr(standalone, field), field
+
+    def test_service_counts_queries_and_cache_rates(self, db):
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        with ShardedQueryService(sharded, executor="thread") as service:
+            queries = [_query_for(db, seed=s) for s in (1, 2, 3)]
+            service.search_many(queries, k=3)
+            service.search_many(queries, k=3)  # all hits
+            stats = service.stats()
+        assert stats.queries == 6
+        assert stats.result_cache_hits == 3
+        assert 0.0 <= stats.apl_cache_hit_rate <= 1.0
+        assert stats.latency_p95_s >= stats.latency_p50_s >= 0.0
+        assert stats.qps > 0.0
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, db):
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        service = ShardedQueryService(sharded, executor="thread")
+        service.search(_query_for(db), k=2)
+        service.close()
+        service.close()
+
+    def test_unknown_executor_rejected(self, db):
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        with pytest.raises(ValueError):
+            ShardedQueryService(sharded, executor="fiber")
