@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import math
 from typing import FrozenSet, List, Optional, Tuple
 
 from repro.baselines.base import Searcher
@@ -61,20 +60,21 @@ class _FilteredStream:
                 return dist, item
             node: RTreeNode = item
             self.stats.nodes_accessed += 1
+            # One batched key computation per expanded node (point
+            # distances for leaves, MINDIST for internal nodes — NumPy
+            # when available, scalar fallback inside), then the
+            # inverted-file admission filter over the zipped pairs.
+            dists = node.child_min_dists(self.coord)
             if node.is_leaf:
-                for entry in node.children:
-                    entry_acts = IRTree.entry_activities(entry)
-                    if entry_acts.isdisjoint(self.activities):
+                for entry, d in zip(node.children, dists):
+                    if IRTree.entry_activities(entry).isdisjoint(self.activities):
                         continue  # point carries no query activity
-                    d = math.hypot(self.coord[0] - entry.x, self.coord[1] - entry.y)
                     heapq.heappush(self.heap, (d, next(self._tick), entry))
             else:
-                for child in node.children:
+                for child, d in zip(node.children, dists):
                     if not IRTree.node_has_any(child, self.activities):
                         continue  # inverted-file pruning (Section III-C)
-                    heapq.heappush(
-                        self.heap, (child.min_dist(self.coord), next(self._tick), child)
-                    )
+                    heapq.heappush(self.heap, (d, next(self._tick), child))
         return None
 
 

@@ -74,10 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--depth", type=int, default=6, help="GAT grid depth")
     p_query.add_argument(
         "--kernel",
-        choices=["auto", "scalar", "vectorized"],
+        choices=["auto", "scalar", "vectorized", "block"],
         default="auto",
-        help="scoring kernel: auto (vectorized when numpy is available), "
-        "scalar (the seed oracles), or vectorized",
+        help="scoring kernel: auto (block when numpy is available), "
+        "scalar (the seed oracles), vectorized (one NumPy matrix per "
+        "candidate), or block (one tensor per validation round with "
+        "early candidate abandonment)",
     )
     p_query.add_argument("--explain", action="store_true", help="show matched points")
     p_query.add_argument(
@@ -108,6 +110,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="shard fan-out backend for --shards > 1 (process pools bypass "
         "the GIL for CPU-bound workloads)",
+    )
+    p_query.add_argument(
+        "--shard-strategy",
+        choices=["hash", "range", "spatial"],
+        default="hash",
+        help="trajectory partitioning for --shards > 1: hash (id mod n), "
+        "range (contiguous id chunks), or spatial (Morton-ordered "
+        "centroids — compact shard regions that pair with the "
+        "shard-local grids)",
     )
 
     p_sweep = sub.add_parser("sweep", help="run a paper figure sweep")
@@ -159,7 +170,10 @@ def _build_query_service(db, args: argparse.Namespace):
     :class:`QueryService` for ``--shards 1``, a sharded fleet otherwise."""
     gat_config = GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
     if args.shards > 1:
-        sharded = ShardedGATIndex.build(db, n_shards=args.shards, config=gat_config)
+        sharded = ShardedGATIndex.build(
+            db, n_shards=args.shards, config=gat_config,
+            strategy=args.shard_strategy,
+        )
         return ShardedQueryService(
             sharded,
             engine_config=EngineConfig(kernel=args.kernel),

@@ -102,6 +102,14 @@ class ExecutionContext:
         """The union of activities over all query points (``Q.Φ``)."""
         return self.query.all_activities
 
+    @property
+    def block_scoring(self) -> bool:
+        """True when this execution's evaluator runs the round-batched
+        block kernel — the engine then scores each validation round
+        through :meth:`~repro.core.pipeline.ScoringStage.score_batch`
+        instead of one evaluator call per candidate."""
+        return self.evaluator.kernel == "block"
+
     def threshold(self) -> float:
         """The current k-th best distance — the running pruning threshold
         of Algorithm 1 (``inf`` until k results are held), tightened by

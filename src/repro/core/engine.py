@@ -77,10 +77,12 @@ class EngineConfig:
     apl_cache_size:
         Engine-level LRU over APL posting-list fetches; ``0`` disables.
     kernel:
-        Scoring kernel: ``'auto'`` (vectorized when NumPy is available),
-        ``'scalar'`` (the seed oracles), or ``'vectorized'``.  Both
-        kernels return the same distances and pruning counters (see
-        :mod:`repro.core.kernels`).
+        Scoring kernel: ``'auto'`` (block when NumPy is available),
+        ``'scalar'`` (the seed oracles), ``'vectorized'`` (one NumPy
+        matrix per candidate), or ``'block'`` (one padded tensor per
+        validation round, with early abandonment against the running
+        k-th threshold).  All kernels return the same rankings and
+        pruning counters (see :mod:`repro.core.kernels`).
     batch_io:
         Fetch all APL posting lists of one validation round in a single
         :meth:`~repro.index.gat.apl.APLStore.fetch_many` call instead of
@@ -336,8 +338,20 @@ class GATSearchEngine:
                     [Candidate(tid) for tid in new_candidates],
                     prefetch=self.config.batch_io,
                 )
-                for candidate in admitted:
-                    distance = self._scoring.score(ctx, candidate)
+                if ctx.block_scoring and admitted:
+                    # Block kernel: the whole round in one scoring call —
+                    # one distance evaluation, block lower bounds, early
+                    # abandonment against the round-start k-th threshold.
+                    scored = zip(admitted, self._scoring.score_batch(ctx, admitted))
+                else:
+                    # Per-candidate kernels keep the interleaved loop: each
+                    # score sees the threshold tightened by the round's
+                    # earlier offers (same rankings either way).
+                    scored = (
+                        (candidate, self._scoring.score(ctx, candidate))
+                        for candidate in admitted
+                    )
+                for candidate, distance in scored:
                     if distance != INFINITY:
                         result = SearchResult(candidate.trajectory_id, distance)
                         ctx.results.offer(result)

@@ -8,17 +8,24 @@ that shared tail — GAT, IL, RT and IRT all call into it, so performance
 differences between searchers are attributable to candidate retrieval and
 pruning alone.
 
-The evaluator now fronts two interchangeable kernels:
+The evaluator now fronts three interchangeable kernels:
 
 * ``'scalar'`` — the seed implementations (Algorithm 3's sorted scan over
   :class:`~repro.core.match.PointMatchTable`, Algorithm 4's incremental
   DP), kept verbatim as the correctness oracles;
 * ``'vectorized'`` — :mod:`repro.core.kernels`: one NumPy distance matrix
-  per candidate plus array set-cover/DP scans (the default when NumPy is
-  importable, ``kernel='auto'``).
+  per candidate plus array set-cover/DP scans;
+* ``'block'`` — the round-batched tensors of
+  :class:`~repro.core.kernels.CandidateBlock` (the default when NumPy is
+  importable, ``kernel='auto'``): a whole validation round is scored
+  through :meth:`MatchEvaluator.dmm_batch` / :meth:`dmom_batch` — one
+  distance evaluation, block set-cover lower bounds, and early
+  per-candidate abandonment against the running k-th threshold.  The
+  per-candidate entry points (:meth:`dmm` / :meth:`dmom`) remain fully
+  functional under ``'block'`` and run the vectorized per-candidate path.
 
-Both kernels produce the same distances (to the last ulp — see the
-kernels module docstring for the two rounding sources) and bump the same
+All kernels produce the same distances (to the last ulp — see the
+kernels module docstring for the rounding sources) and bump the same
 counters, so they are swappable under any searcher without moving a
 benchmark's rankings or pruning numbers.  Per-query
 state (the activity→bit maps, the query-side distance precomputation, and
@@ -94,7 +101,7 @@ class MatchEvaluator:
         if state is None or state[0] is not query:
             qkernel = (
                 QueryKernel(query, self.metric)
-                if self.kernel == "vectorized"
+                if self.kernel in ("vectorized", "block")
                 else None
             )
             scalar_metric = prepare_metric(self.metric, [q.coord for q in query])
@@ -206,6 +213,90 @@ class MatchEvaluator:
         if lower == INFINITY or lower > threshold:
             return INFINITY
         return minimum_order_match_distance(query, trajectory, metric, threshold)
+
+    # ------------------------------------------------------------------
+    # Block scoring — one call per validation round (kernel='block')
+    # ------------------------------------------------------------------
+    def _block_kernel(self, query: Query) -> QueryKernel:
+        """The per-query :class:`QueryKernel` the batch entry points run
+        on, with a clear error for the scalar kernel (the per-candidate
+        :meth:`dmm`/:meth:`dmom` siblings are the scalar-capable API)."""
+        _q, qkernel, _metric = self._state_for(query)
+        if qkernel is None:
+            raise ValueError(
+                "batch scoring requires kernel='block' or 'vectorized' "
+                f"(this evaluator runs {self.kernel!r}); call dmm/dmom per "
+                "candidate instead"
+            )
+        return qkernel
+
+    def dmm_batch(
+        self,
+        query: Query,
+        items,
+        threshold: float = INFINITY,
+        k: Optional[int] = None,
+    ) -> List[float]:
+        """``Dmm`` for one validation round's candidates in one shot.
+
+        *items* is a sequence of ``(trajectory, posting)`` pairs (posting =
+        the candidate's batched-fetch APL record, or ``None``).  Counter
+        semantics match calling :meth:`dmm` once per candidate exactly,
+        and so do the values — the whole-round array formulations
+        (:func:`~repro.core.kernels.block_dmm` /
+        :func:`~repro.core.kernels.block_dmm_all_single`) compute every
+        candidate's exact ``Dmm``, so *threshold* / *k* currently have
+        nothing left to abandon here (they gate real per-candidate work in
+        :meth:`dmom_batch`).
+        """
+        self.stats.dmm_evaluations += len(items)
+        if not items:
+            return []
+        qkernel = self._block_kernel(query)
+        if qkernel.all_single and qkernel._mode != "generic":
+            # Order-free Dmm needs no position dedup: the duplicated
+            # activity-segment layout skips block preparation entirely.
+            return kernels.block_dmm_all_single(qkernel, items, self.stats).tolist()
+        block = kernels.prepare_block(qkernel, items)
+        return kernels.block_dmm(qkernel, block, self.stats, threshold, k=k).tolist()
+
+    def dmom_batch(
+        self,
+        query: Query,
+        items,
+        threshold: float = INFINITY,
+        check_order: bool = True,
+        k: Optional[int] = None,
+    ) -> List[float]:
+        """``Dmom`` for one validation round's candidates in one shot.
+
+        The same three pruning layers as :meth:`dmom` — MIB feasibility
+        (when *check_order*), the Lemma-3 ``Dmm`` gate, and the DP's
+        Lemma-4 row exit — applied blockwise: the gate is one
+        :func:`~repro.core.kernels.block_dmm` call whose abandonment drops
+        candidates before any per-candidate DP work (the gate never
+        tightens on ``Dmm`` values — the ranked metric here is ``Dmom``).
+        Counters are identical to the per-candidate loop (the gate bumps
+        one ``Dmm`` evaluation per order-feasible candidate, exactly like
+        :meth:`dmom`).
+        """
+        self.stats.dmom_evaluations += len(items)
+        if not items:
+            return []
+        if check_order:
+            feasible = [order_feasible(tr, query) for tr, _posting in items]
+        else:
+            feasible = [True] * len(items)
+        sub = [item for item, ok in zip(items, feasible) if ok]
+        self.stats.dmm_evaluations += len(sub)  # the gate, one per candidate
+        if not sub:
+            return [INFINITY] * len(items)
+        qkernel = self._block_kernel(query)
+        block = kernels.prepare_block(qkernel, sub)
+        values = iter(
+            kernels.block_dmom(qkernel, block, self.stats, threshold, k=k).tolist()
+        )
+        return [next(values) if ok else INFINITY for ok in feasible]
 
     def dmom_explained(
         self, query: Query, trajectory: ActivityTrajectory

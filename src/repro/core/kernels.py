@@ -23,6 +23,37 @@ both with a *prepare once, scan arrays* scheme:
    recurrence collapses from O(n²) incremental table rebuilds to a single
    O(n · 2^|q.Φ|) left-to-right scan (see :func:`dmom_prepared`).
 
+On top of the per-candidate kernels sits the *block* kernel
+(``kernel='block'``, the ``'auto'`` default): a whole validation round's
+admitted candidates go into one :class:`CandidateBlock` — a flat
+``[|Q|, N]`` distance matrix over every candidate's concatenated relevant
+points, built by a **single** Euclidean/Haversine evaluation per round,
+plus a boolean relevance pattern and per-candidate column segments — and
+are scored together:
+
+* :func:`block_dmm` computes every candidate's exact ``Dmm`` in
+  whole-round array ops: per-row masked minima via one
+  segment-``reduceat`` for single-activity rows, and the *set-partition
+  decomposition* of the minimum cover for multi-activity rows (the
+  optimal cover equals, over all partitions of the row's activity bits,
+  the cheapest sum of per-group nearest-covering-point minima — each
+  group minimum one more masked ``reduceat``).  All-single-activity
+  queries take :func:`block_dmm_all_single`, a dedup-free
+  posting-concatenation layout with no per-candidate work at all.
+* :func:`block_dmom` gates on the block ``Dmm`` (Lemma 3) and walks the
+  survivors cheapest-gate-first with a running k-th threshold, so most
+  candidates are **abandoned** before the per-candidate DP; all-single-
+  activity queries instead run the whole DP batched — each of the
+  ``|Q|`` rows is two ``minimum.accumulate`` passes over a
+  ``[survivors, Lmax]`` matrix.
+
+Abandonment never moves a ranking or a counter: the values it replaces
+with ``inf`` all exceed the final k-th distance (so the top-k collector
+would reject them anyway), and every pruning counter is derived from the
+relevance pattern exactly as the per-candidate scans would have counted
+them — the block/vectorized/scalar engine parity suites compare ids and
+counters exactly.
+
 Exactness
 ---------
 The scalar implementations in :mod:`repro.core.match` and
@@ -46,6 +77,7 @@ when it is missing, ``kernel='vectorized'`` raises loudly.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -66,21 +98,23 @@ HAVE_NUMPY = _np is not None
 
 INFINITY = math.inf
 
-KERNELS = ("auto", "scalar", "vectorized")
+KERNELS = ("auto", "scalar", "vectorized", "block")
 
 
 def resolve_kernel(kernel: str) -> str:
     """Map a kernel request to the concrete implementation to run.
 
-    ``'auto'`` picks ``'vectorized'`` when NumPy is importable and
-    ``'scalar'`` otherwise; asking for ``'vectorized'`` without NumPy is an
-    error (silent fallback would invalidate benchmark claims).
+    ``'auto'`` picks ``'block'`` when NumPy is importable and ``'scalar'``
+    otherwise; asking for ``'vectorized'`` or ``'block'`` without NumPy is
+    an error (silent fallback would invalidate benchmark claims).
     """
     if kernel == "auto":
-        return "vectorized" if HAVE_NUMPY else "scalar"
-    if kernel == "vectorized" and not HAVE_NUMPY:
-        raise ValueError("kernel='vectorized' requires numpy (use 'auto' or 'scalar')")
-    if kernel not in ("scalar", "vectorized"):
+        return "block" if HAVE_NUMPY else "scalar"
+    if kernel in ("vectorized", "block") and not HAVE_NUMPY:
+        raise ValueError(
+            f"kernel={kernel!r} requires numpy (use 'auto' or 'scalar')"
+        )
+    if kernel not in ("scalar", "vectorized", "block"):
         raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
     return kernel
 
@@ -219,6 +253,29 @@ class QueryKernel:
         if self._mode == "generic":
             return self._generic_rows(trajectory, positions)
         return self.distance_matrix(trajectory, positions).tolist()
+
+    def distance_matrix_for(self, coords):
+        """The ``|Q| x N`` distance matrix against a raw ``(N, 2)`` float
+        array of point coordinates.
+
+        This is the block kernel's single per-round distance evaluation:
+        the concatenated relevant points of *every* candidate go through
+        one elementwise NumPy call, so each entry is bit-identical to the
+        per-candidate :meth:`distance_matrix` value for the same pair
+        (elementwise ufuncs do not round differently with array size).
+        Only meaningful for the stock metrics — generic metrics have no
+        array formula, and the block builder keeps their per-pair Python
+        path per candidate.
+        """
+        px = coords[:, 0]
+        py = coords[:, 1]
+        if self._mode == "euclidean":
+            return euclidean_matrix(self._q0, self._q1, px, py)
+        if self._mode == "haversine":
+            return haversine_matrix(
+                self._q0, self._q1, self._q2, _np.radians(px), _np.radians(py)
+            )
+        raise ValueError("distance_matrix_for requires a stock metric")
 
 
 class CandidateArrays:
@@ -511,3 +568,444 @@ def dmom_prepared(
             return INFINITY
         prev = cur
     return prev[n]
+
+
+# ----------------------------------------------------------------------
+# Block kernel — one flat tensor per validation round
+# ----------------------------------------------------------------------
+class CandidateBlock:
+    """One validation round's candidates in flat concatenated form.
+
+    ``big`` is the ``[|Q|, N]`` distance matrix over the concatenation of
+    every candidate's relevant positions — built by a **single**
+    Euclidean/Haversine evaluation per round — and ``mask`` the same-shape
+    per-query-point activity-overlap bitmasks (``rel`` caches ``mask !=
+    0``).  ``seg_of``/``lengths`` map a candidate to its column segment;
+    candidates with no relevant position keep an empty segment so outputs
+    align with the input order.  ``missing_rows`` lists ``(candidate,
+    row)`` pairs where some query activity of the row never occurs in the
+    candidate — recorded during the build, where the posting lists are in
+    hand, because such a row can never be covered (Algorithm 3 returns
+    ``inf``) even when other activities give it relevant points.
+    """
+
+    __slots__ = (
+        "n",
+        "lengths",
+        "positions",
+        "seg_of",
+        "flat_ids",
+        "seg_starts",
+        "total",
+        "big",
+        "mask",
+        "rel",
+        "missing_rows",
+    )
+
+    def __init__(
+        self, n, lengths, positions, seg_of, flat_ids, seg_starts, total,
+        big, mask, missing_rows,
+    ) -> None:
+        self.n = n
+        self.lengths = lengths
+        self.positions = positions
+        self.seg_of = seg_of
+        self.flat_ids = flat_ids
+        self.seg_starts = seg_starts
+        self.total = total
+        self.big = big
+        self.mask = mask
+        self.rel = mask != 0
+        self.missing_rows = missing_rows
+
+    def candidate_arrays(self, c: int) -> Optional[CandidateArrays]:
+        """The per-candidate view of candidate *c* — the list-form
+        :class:`CandidateArrays` the vectorized kernel would have built,
+        sliced back out of the block (``None`` for a candidate with no
+        relevant points, mirroring :func:`prepare_candidate`)."""
+        n = self.lengths[c]
+        if n == 0:
+            return None
+        s = self.seg_of[c]
+        return CandidateArrays(
+            list(self.positions[c]),
+            dist_rows=self.big[:, s : s + n].tolist(),
+            mask_rows=self.mask[:, s : s + n].tolist(),
+        )
+
+
+def prepare_block(qk: QueryKernel, items: Sequence[tuple]) -> CandidateBlock:
+    """Stack one round's candidates into a :class:`CandidateBlock`.
+
+    *items* is a sequence of ``(trajectory, posting)`` pairs where
+    *posting* is the candidate's APL record from the round's batched fetch
+    (``None`` falls back to the trajectory's in-memory posting lists — the
+    APL persists exactly that mapping, so both images agree).
+
+    Per-candidate Python work is limited to what the per-candidate kernel
+    paid too (position unions, column resolution); the distance evaluation
+    is a single call over the concatenated relevant points, and the
+    bitmask pattern one ``bincount`` scatter for the whole round.
+    """
+    from repro.index.gat.apl import union_positions
+
+    m = qk.m
+    all_activities = qk.query.all_activities
+    n_items = len(items)
+    positions: List[Tuple[int, ...]] = []
+    postings = []
+    for trajectory, posting in items:
+        if posting is None:
+            posting = trajectory.posting_lists
+        postings.append(posting)
+        positions.append(union_positions(posting, all_activities))
+    lengths = [len(p) for p in positions]
+    seg_of = [-1] * n_items
+    flat_ids: List[int] = []
+    seg_starts: List[int] = []
+    total = 0
+    for c, n in enumerate(lengths):
+        if n:
+            seg_of[c] = total
+            flat_ids.append(c)
+            seg_starts.append(total)
+            total += n
+
+    if total == 0:
+        return CandidateBlock(
+            n_items, lengths, positions, seg_of, flat_ids, seg_starts, total,
+            _np.zeros((m, 0)), _np.zeros((m, 0), dtype=_np.int64), [],
+        )
+
+    if qk._mode == "generic":
+        big = _np.empty((m, total))
+        for c in flat_ids:
+            s = seg_of[c]
+            big[:, s : s + lengths[c]] = qk._generic_rows(
+                items[c][0], list(positions[c])
+            )
+    else:
+        big = qk.distance_matrix_for(
+            _np.concatenate(
+                [items[c][0].coord_array()[list(positions[c])] for c in flat_ids]
+            )
+        )
+
+    # Bitmask scatter: flat (row * N + column, bit) pairs for the whole
+    # round, combined in one bincount (each (row, column) sees each bit at
+    # most once, so summation equals the bitwise OR).
+    flat_idx: List[int] = []
+    flat_bit: List[int] = []
+    missing_rows: List[Tuple[int, int]] = []
+    for c in flat_ids:
+        posting = postings[c]
+        s = seg_of[c]
+        col_of = {p: s + j for j, p in enumerate(positions[c])}
+        # An activity shared by several query points scatters into several
+        # rows; resolve its columns once per candidate.
+        cols_of_activity: Dict[int, List[int]] = {}
+        for i, bit_values in enumerate(qk.bit_values):
+            base = i * total
+            for activity, bit in bit_values.items():
+                cols = cols_of_activity.get(activity)
+                if cols is None:
+                    ps = posting.get(activity)
+                    cols = cols_of_activity[activity] = (
+                        [col_of[p] for p in ps] if ps else []
+                    )
+                if cols:
+                    flat_idx.extend([base + col for col in cols])
+                    flat_bit.extend([bit] * len(cols))
+                else:
+                    missing_rows.append((c, i))
+    mask = _np.bincount(
+        _np.asarray(flat_idx),
+        weights=_np.asarray(flat_bit, dtype=float),
+        minlength=m * total,
+    ).astype(_np.int64).reshape(m, total)
+    return CandidateBlock(
+        n_items, lengths, positions, seg_of, flat_ids, seg_starts, total,
+        big, mask, missing_rows,
+    )
+
+
+def block_dmm_all_single(qk: QueryKernel, items: Sequence[tuple], stats=None):
+    """``Dmm`` for one round of an all-single-activity query, without ever
+    materialising a :class:`CandidateBlock`.
+
+    ``Dmm`` is order-free, so the candidate columns need no position
+    dedup: each candidate contributes its posting arrays for the query's
+    distinct activities **concatenated as-is** (a point carrying two query
+    activities simply appears twice — duplicates never move a minimum).
+    Relevance is then a single code comparison (``row activity ==
+    column activity``) instead of a bitmask scatter, per-row candidate
+    counts are plain posting lengths (postings are distinct by
+    construction), and the per-row minima fall out of one masked
+    segment-``reduceat``.  Values and counter accounting are bit-identical
+    to the per-candidate all-single path.  (The order-sensitive DP cannot
+    ride this layout — duplicated columns break its prefix semantics — so
+    :func:`block_dmom` keeps the deduplicated block.)
+    """
+    m = qk.m
+    acts = [next(iter(bit_values)) for bit_values in qk.bit_values]
+    distinct = list(dict.fromkeys(acts))
+    code_of = {a: i for i, a in enumerate(distinct)}
+    row_codes = [code_of[a] for a in acts]
+
+    C = len(items)
+    counts_rows: List[List[int]] = []
+    pos_chunks = []
+    code_chunks = []
+    coord_chunks = []
+    flat_ids: List[int] = []
+    seg_starts: List[int] = []
+    total = 0
+    base_codes = _np.arange(len(distinct))
+    for c, (trajectory, _posting) in enumerate(items):
+        arrays = trajectory.posting_arrays()
+        parts = [arrays.get(a) for a in distinct]
+        lens = [0 if ps is None else len(ps) for ps in parts]
+        counts_rows.append([lens[code] for code in row_codes])
+        n = sum(lens)
+        if n == 0:
+            continue
+        present = [ps for ps in parts if ps is not None and len(ps)]
+        pos = present[0] if len(present) == 1 else _np.concatenate(present)
+        pos_chunks.append(pos)
+        code_chunks.append(_np.repeat(base_codes, lens))
+        coord_chunks.append(trajectory.coord_array()[pos])
+        flat_ids.append(c)
+        seg_starts.append(total)
+        total += n
+
+    counts = _np.asarray(counts_rows, dtype=_np.intp).reshape(C, m)
+    if stats is not None:
+        invalid = counts == 0
+        has_invalid = invalid.any(axis=1)
+        limit = _np.where(has_invalid, invalid.argmax(axis=1), m - 1)
+        cumulative = counts.cumsum(axis=1)
+        stats.point_match_points += int(cumulative[_np.arange(C), limit].sum())
+
+    rowvals = _np.full((C, m), INFINITY)
+    if total:
+        big = qk.distance_matrix_for(_np.concatenate(coord_chunks))
+        all_codes = _np.concatenate(code_chunks)
+        masked = _np.where(
+            _np.asarray(row_codes)[:, None] == all_codes[None, :], big, INFINITY
+        )
+        rowvals[flat_ids, :] = _np.minimum.reduceat(masked, seg_starts, axis=1).T
+    # Left-to-right row fold: the scalar path's float addition order.
+    dmm = rowvals[:, 0].copy()
+    for i in range(1, m):
+        dmm = dmm + rowvals[:, i]
+    return dmm
+
+
+def _set_partitions(n_bits: int) -> List[Tuple[int, ...]]:
+    """All partitions of ``n_bits`` bits into non-empty groups, each group
+    a bitmask (Bell(n_bits) partitions: 1, 2, 5, 15, 52 for 1..5 bits —
+    the paper bounds ``|q.Φ|`` at 5).  Memoised; used by the block cover.
+    """
+    cached = _PARTITIONS.get(n_bits)
+    if cached is None:
+        parts: List[List[int]] = [[]]
+        for b in range(n_bits):
+            bit = 1 << b
+            grown: List[List[int]] = []
+            for part in parts:
+                for g in range(len(part)):
+                    grown.append(part[:g] + [part[g] | bit] + part[g + 1 :])
+                grown.append(part + [bit])
+            parts = grown
+        cached = _PARTITIONS[n_bits] = [tuple(p) for p in parts]
+    return cached
+
+
+_PARTITIONS: Dict[int, List[Tuple[int, ...]]] = {}
+
+
+def _block_stage(qk: QueryKernel, block: CandidateBlock, stats):
+    """Exact per-candidate ``Dmm`` over the block, plus the
+    ``point_match_points`` accounting (a pure function of the relevance
+    pattern, identical to the per-candidate scans' counting and
+    independent of everything else).
+
+    Single-activity rows are one masked segment-min (bit-identical to the
+    per-candidate path).  Multi-activity rows use the set-partition
+    decomposition of the minimum cover: the optimal cover equals, over all
+    partitions of the row's activity bits into groups, the cheapest sum of
+    per-group minima (``M[g]`` = nearest relevant point whose bitmask
+    covers group ``g``) — any cover induces the partition that assigns
+    each bit to the point covering it, and conversely each partition's
+    group minima form a cover.  Every ``M[g]`` is one masked
+    segment-``reduceat``, so the whole round's covers need no
+    per-candidate work at all.  Sums over 3+ groups may re-associate
+    relative to the per-candidate scan's fold order — the same last-ulp
+    class as the documented vectorized-vs-scalar sources.
+    """
+    m = qk.m
+    C = block.n
+    rowvals = _np.full((C, m), INFINITY)
+    counts = _np.zeros((C, m), dtype=_np.intp)
+    if block.total:
+        starts = block.seg_starts
+        flat = block.flat_ids
+        masked = _np.where(block.rel, block.big, INFINITY)
+        rowmins = _np.minimum.reduceat(masked, starts, axis=1)  # [m, F]
+        counts[flat, :] = _np.add.reduceat(
+            block.rel, starts, axis=1, dtype=_np.intp
+        ).T
+        for i in range(m):
+            if qk.n_bits[i] == 1:
+                rowvals[flat, i] = rowmins[i]
+                continue
+            # Group minima: M[g] = min dist over columns whose bitmask
+            # covers g; then the partition decomposition.
+            mask_row = block.mask[i]
+            dist_row = block.big[i]
+            full = (1 << qk.n_bits[i]) - 1
+            group_min = [None] * (full + 1)
+            for g in range(1, full + 1):
+                covered = (mask_row & g) == g
+                group_min[g] = _np.minimum.reduceat(
+                    _np.where(covered, dist_row, INFINITY), starts
+                )
+            best = None
+            for partition in _set_partitions(qk.n_bits[i]):
+                value = group_min[partition[0]]
+                for g in partition[1:]:
+                    value = value + group_min[g]
+                best = value if best is None else _np.minimum(best, value)
+            rowvals[flat, i] = best
+    invalid = counts == 0
+    for c, i in block.missing_rows:
+        invalid[c, i] = True
+    if stats is not None:
+        # Identical to the per-candidate scan, which adds each row's
+        # candidate count up to and including the first infeasible row.
+        has_invalid = invalid.any(axis=1)
+        limit = _np.where(has_invalid, invalid.argmax(axis=1), m - 1)
+        cumulative = counts.cumsum(axis=1)
+        stats.point_match_points += int(cumulative[_np.arange(C), limit].sum())
+    rowvals[invalid] = INFINITY
+    # Left-to-right row fold: the scalar path's float addition order.
+    dmm = rowvals[:, 0].copy()
+    for i in range(1, m):
+        dmm = dmm + rowvals[:, i]
+    return dmm
+
+
+def block_dmm(
+    qk: QueryKernel,
+    block: CandidateBlock,
+    stats=None,
+    threshold: float = INFINITY,
+    k: Optional[int] = None,
+):
+    """Exact ``Dmm`` for every block candidate, as a ``[C]`` float array.
+
+    The partition-decomposed cover (see :func:`_block_stage`) computes
+    every candidate's value in whole-round array ops, so — unlike a
+    per-candidate walk — nothing is saved by abandoning candidates here
+    and every value is returned exactly as the per-candidate path would
+    (``inf`` only where ``Dmm`` truly is ``inf``).  *threshold* / *k* are
+    accepted for signature symmetry with :func:`block_dmom`, which does
+    abandon per-candidate DP work.
+    """
+    del threshold, k  # whole-round array ops: nothing to abandon
+    return _block_stage(qk, block, stats)
+
+
+def _block_dmom_all_single(
+    qk: QueryKernel, block: CandidateBlock, todo: List[int], threshold: float
+):
+    """The all-single-activity Dmom DP for every surviving candidate at
+    once: each row is the two-``minimum.accumulate`` recurrence of
+    :func:`_dmom_row_single_np` over a ``[survivors, Lmax]`` matrix built
+    from the survivors' block segments.
+
+    Padding is inert: padded columns are masked out (their ``vals`` are
+    ``inf``) and the running row minimum carries each candidate's last
+    valid value into ``cur[:, -1]``, so every candidate's result — and its
+    Lemma-4 row threshold exit — is bit-identical to the per-candidate DP.
+    """
+    res = _np.full(block.n, INFINITY)
+    if not todo:
+        return res
+    lmax = max(block.lengths[c] for c in todo)
+    t_count = len(todo)
+    dist = _np.full((t_count, qk.m, lmax), INFINITY)
+    nz = _np.zeros((t_count, qk.m, lmax), dtype=bool)
+    for t, c in enumerate(todo):
+        s = block.seg_of[c]
+        n = block.lengths[c]
+        dist[t, :, :n] = block.big[:, s : s + n]
+        nz[t, :, :n] = block.rel[:, s : s + n]
+    ids = _np.asarray(todo)
+    active = _np.arange(t_count)
+    prev = _np.zeros((t_count, lmax))
+    for i in range(qk.m):
+        a0 = _np.minimum.accumulate(prev, axis=1)
+        vals = _np.where(nz[active, i, :], a0 + dist[active, i, :], INFINITY)
+        cur = _np.minimum.accumulate(vals, axis=1)
+        alive = cur[:, -1] <= threshold
+        if not alive.all():
+            active = active[alive]
+            if len(active) == 0:
+                return res
+            cur = cur[alive]
+        prev = cur
+    res[ids[active]] = prev[:, -1]
+    return res
+
+
+def block_dmom(
+    qk: QueryKernel,
+    block: CandidateBlock,
+    stats=None,
+    threshold: float = INFINITY,
+    k: Optional[int] = None,
+):
+    """``Dmom`` for every block candidate — blockwise gate, then the DP.
+
+    The Lemma-3 gate is the whole-round block ``Dmm``; candidates whose
+    gate exceeds the abandonment threshold are ``inf`` before any
+    per-candidate work, exactly like the per-candidate gate.
+    All-single-activity queries then run the batched DP; mixed queries
+    walk the survivors in ascending-gate order through the per-candidate
+    :func:`dmom_prepared` DP — the identical computation the vectorized
+    kernel performs — so that, with *k* set, the abandonment threshold
+    tightens to the k-th smallest ``Dmom`` seen so far and later
+    candidates (whose gates are lower bounds on their ``Dmom``) are
+    abandoned against it.  Tightening only ever happens on ``Dmom`` values
+    — the ranked metric — never on the ``Dmm`` gate values, whose k-th
+    could undercut the final ``Dmom`` k-th and cost a true top-k member.
+
+    Counter accounting (``point_match_points``) covers every candidate,
+    exactly as the per-candidate gate would have counted it.
+    """
+    gates = _block_stage(qk, block, stats)
+    if qk.all_single:
+        todo = _np.nonzero(_np.isfinite(gates) & (gates <= threshold))[0]
+        return _block_dmom_all_single(qk, block, todo.tolist(), threshold)
+    out = _np.full(block.n, INFINITY)
+    order = _np.argsort(gates, kind="stable").tolist()
+    tau = threshold
+    heap: List[float] = []
+    for c in order:
+        gate = gates[c]
+        if gate > tau or gate == INFINITY:
+            break  # ascending gates: nothing further can beat the k-th
+        cand = block.candidate_arrays(c)
+        if cand is None:  # unreachable for gated candidates; stay exact
+            continue
+        value = dmom_prepared(qk, cand, tau)
+        out[c] = value
+        if k is not None and value != INFINITY:
+            heapq.heappush(heap, -value)
+            if len(heap) > k:
+                heapq.heappop(heap)
+            if len(heap) == k and -heap[0] < tau:
+                tau = -heap[0]
+    return out

@@ -311,3 +311,35 @@ class ScoringStage:
                 ctx.query, trajectory, ctx.threshold(), check_order=self.check_order
             )
         return ctx.evaluator.dmm(ctx.query, trajectory)
+
+    def score_batch(
+        self, ctx: ExecutionContext, candidates: Sequence[Candidate]
+    ) -> List[float]:
+        """Score one validation round's admitted candidates in a single
+        block-kernel call (``kernel='block'``), in candidate order.
+
+        Each candidate bumps the same ``validated`` / work counters as
+        :meth:`score`, and the block reuses the posting lists the APL
+        filter fetched for the round, so nothing is read twice.  The
+        running k-th threshold is sampled once at round start: a looser
+        bound than the per-candidate loop's intra-round tightening, which
+        can only turn an over-threshold ``inf`` into a finite value the
+        top-k collector rejects anyway — rankings and counters are
+        identical (the engine parity suite pins this down).
+        """
+        items = []
+        for candidate in candidates:
+            trajectory = candidate.trajectory
+            if trajectory is None:
+                trajectory = candidate.trajectory = self.db.get(
+                    candidate.trajectory_id
+                )
+            ctx.stats.validated += 1
+            ctx.stats.distance_computations += 1
+            items.append((trajectory, candidate.posting))
+        threshold = ctx.threshold()
+        if ctx.order_sensitive:
+            return ctx.evaluator.dmom_batch(
+                ctx.query, items, threshold, check_order=self.check_order, k=ctx.k
+            )
+        return ctx.evaluator.dmm_batch(ctx.query, items, threshold, k=ctx.k)

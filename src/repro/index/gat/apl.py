@@ -126,7 +126,22 @@ class APLStore:
     ) -> Tuple[int, ...]:
         """``CP`` positions for one query point: the sorted union of the
         posting lists of its activities (Algorithm 3, line 1)."""
-        out: set[int] = set()
-        for activity in activities:
-            out.update(posting.get(activity, ()))
-        return tuple(sorted(out))
+        return union_positions(posting, activities)
+
+
+def union_positions(posting: PostingLists, activities: Iterable[int]) -> Tuple[int, ...]:
+    """Sorted union of a trajectory's posting lists over *activities*.
+
+    Used both for one query point's candidate positions (Algorithm 3,
+    line 1) and — with the whole query's activity set — for the relevant
+    sub-sequence ``rel(Tr)`` the scoring kernels compress a candidate to.
+    The block kernel builds its per-round tensors directly from the
+    batched-fetch APL records through this helper, so the engine's exact
+    validation and its scoring read the same posting-list image.
+    """
+    out: set[int] = set()
+    for activity in activities:
+        ps = posting.get(activity)
+        if ps:
+            out.update(ps)
+    return tuple(sorted(out))

@@ -17,7 +17,7 @@ directly").
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterable, Sequence, Tuple
+from typing import Any, FrozenSet, Sequence, Tuple
 
 from repro.index.rtree import RTree, RTreeEntry, RTreeNode
 
@@ -73,13 +73,15 @@ class IRTree:
         return self.tree.size
 
     @staticmethod
-    def node_has_any(node: RTreeNode, activities: Iterable[int]) -> bool:
+    def node_has_any(node: RTreeNode, activities: FrozenSet[int]) -> bool:
         """Inverted-file check: does the node's subtree contain at least one
-        of *activities*?"""
+        of *activities*?  ``frozenset.isdisjoint`` runs the membership loop
+        in C — this check fires once per (stream, child) and dominated the
+        per-child Python work of the IRT expansion."""
         terms = node.activities
         if terms is None:
             return True  # unannotated (empty tree edge case) — never prune
-        return any(a in terms for a in activities)
+        return not terms.isdisjoint(activities)
 
     @staticmethod
     def entry_payload(entry: RTreeEntry) -> Any:

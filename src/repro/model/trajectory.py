@@ -25,7 +25,14 @@ class ActivityTrajectory:
     ``Tr[i, j]`` 1-based; tests that mirror paper examples translate.)
     """
 
-    __slots__ = ("trajectory_id", "points", "_activity_union", "_posting_lists", "_coord_array")
+    __slots__ = (
+        "trajectory_id",
+        "points",
+        "_activity_union",
+        "_posting_lists",
+        "_coord_array",
+        "_posting_arrays",
+    )
 
     def __init__(self, trajectory_id: int, points: Sequence[TrajectoryPoint]) -> None:
         if not points:
@@ -35,6 +42,7 @@ class ActivityTrajectory:
         self._activity_union: FrozenSet[int] | None = None
         self._posting_lists: Dict[int, Tuple[int, ...]] | None = None
         self._coord_array = None
+        self._posting_arrays = None
 
     # ------------------------------------------------------------------
     # Basic sequence protocol
@@ -95,6 +103,25 @@ class ActivityTrajectory:
                 [(p.x, p.y) for p in self.points], dtype=float
             )
         return self._coord_array
+
+    def posting_arrays(self):
+        """The posting lists as cached int64 NumPy arrays (requires NumPy).
+
+        The array image of :attr:`posting_lists` — same keys, same
+        ascending positions — used by the block scoring kernel's
+        all-single-activity fast path, which concatenates whole posting
+        arrays instead of resolving positions one by one.  Lazily built
+        and cached under the same immutability assumption as the other
+        derived structures.
+        """
+        if self._posting_arrays is None:
+            import numpy as np
+
+            self._posting_arrays = {
+                a: np.asarray(ps, dtype=np.int64)
+                for a, ps in self.posting_lists.items()
+            }
+        return self._posting_arrays
 
     def positions_of(self, activity: int) -> Tuple[int, ...]:
         """Positions of the points containing *activity* (possibly empty)."""

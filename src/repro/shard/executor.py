@@ -31,6 +31,7 @@ cross.
 
 from __future__ import annotations
 
+import math
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -54,9 +55,15 @@ class ShardTask:
 
     ``group`` labels all tasks of one fan-out.  In-process backends use it
     to find the query's shared merged-top-k (the distributed-top-k
-    threshold); process workers ignore it — shared memory does not cross
-    the process boundary, so that backend runs each shard to full local
-    completion.
+    threshold).  Process workers instead use ``threshold_slot`` — the
+    index of a ``multiprocessing.Value`` allocated at pool start-up (the
+    slots are inherited by the workers; synchronised objects cannot ride
+    the task queue itself).  Each worker publishes its shard's local k-th
+    distance into the slot and prunes against the fleet-wide minimum — an
+    upper bound on the merged k-th, hence sound — polled between
+    validation rounds via the engine's external-threshold hook.
+    ``threshold_slot=None`` (serial/thread backends, or slot exhaustion)
+    keeps the run-to-local-completion behaviour.
     """
 
     shard_id: int
@@ -65,6 +72,7 @@ class ShardTask:
     order_sensitive: bool = False
     explain: bool = False
     group: int = 0
+    threshold_slot: Optional[int] = None
 
 
 @dataclass(slots=True)
@@ -90,15 +98,17 @@ class ShardEngineSpec:
     """Everything a worker process needs to rebuild any shard's engine.
 
     Carries data, never live objects: per-shard trajectory tuples, the
-    shared vocabulary, the global bounding box, and the build/engine
-    configs.  The metric rides along too (the stock metrics are stateless
+    shared vocabulary, each shard grid's bounding box and build config
+    (per-shard since the shard-local-grid build depth-adapts each grid to
+    its own box — all equal under ``shard_box='global'``), and the engine
+    config.  The metric rides along too (the stock metrics are stateless
     ``__slots__ = ()`` classes, so they pickle for free)."""
 
     db_name: str
     vocabulary: object
     shard_trajectories: Tuple[tuple, ...]
-    bounding_box: object
-    gat_config: GATConfig
+    bounding_boxes: Tuple[object, ...]
+    gat_configs: Tuple[GATConfig, ...]
     engine_config: EngineConfig
     metric: Optional[object] = None
     #: Per-read latency of the worker-side simulated disks, carried over
@@ -122,9 +132,9 @@ def build_shard_engine(spec: ShardEngineSpec, shard_id: int) -> GATSearchEngine:
     )
     index = GATIndex.build(
         shard_db,
-        spec.gat_config,
+        spec.gat_configs[shard_id],
         disk=SimulatedDisk(read_latency_s=spec.read_latency_s),
-        bounding_box=spec.bounding_box,
+        bounding_box=spec.bounding_boxes[shard_id],
     )
     return GATSearchEngine(index, metric=spec.metric, config=spec.engine_config)
 
@@ -155,16 +165,54 @@ def run_shard_task(
     )
 
 
-# Per-worker-process state: the spec arrives once via the pool initializer;
-# engines are built lazily per shard on first use.
+# Per-worker-process state: the spec and threshold slots arrive once via
+# the pool initializer; engines are built lazily per shard on first use.
 _WORKER_SPEC: Optional[ShardEngineSpec] = None
 _WORKER_ENGINES: Dict[int, GATSearchEngine] = {}
+_WORKER_SLOTS: Sequence = ()
 
 
-def _worker_init(spec: ShardEngineSpec) -> None:
-    global _WORKER_SPEC
+def _worker_init(spec: ShardEngineSpec, slots: Sequence = ()) -> None:
+    global _WORKER_SPEC, _WORKER_SLOTS
     _WORKER_SPEC = spec
+    _WORKER_SLOTS = slots
     _WORKER_ENGINES.clear()
+
+
+class _SlotThreshold:
+    """One query's cross-process pruning threshold, backed by a shared
+    ``multiprocessing.Value`` slot.
+
+    Each worker mirrors its shard's accepted results in a local
+    :class:`TopKCollector` and publishes the mirror's k-th distance into
+    the slot whenever it improves on the stored fleet minimum.  The slot
+    therefore holds ``min`` over shards of the *local* k-th — an upper
+    bound on the merged k-th over the union (a union's k-th never exceeds
+    any part's), which in turn bounds the final merged k-th from above, so
+    pruning and terminating against it is exact for the merged top-k.  The
+    engine polls :meth:`threshold` between validation rounds (and inside
+    the Lemma-4 scoring prune) through its ``external_threshold`` hook.
+    """
+
+    __slots__ = ("_value", "_mirror")
+
+    def __init__(self, value, k: int) -> None:
+        from repro.core.results import TopKCollector
+
+        self._value = value
+        self._mirror = TopKCollector(k)
+
+    def offer(self, result) -> None:
+        self._mirror.offer(result)
+        kth = self._mirror.kth_distance()
+        if math.isfinite(kth):
+            with self._value.get_lock():
+                if kth < self._value.value:
+                    self._value.value = kth
+
+    def threshold(self) -> float:
+        with self._value.get_lock():
+            return self._value.value
 
 
 def _worker_search(task: ShardTask) -> ShardResult:
@@ -175,7 +223,15 @@ def _worker_search(task: ShardTask) -> ShardResult:
         engine = _WORKER_ENGINES[task.shard_id] = build_shard_engine(
             _WORKER_SPEC, task.shard_id
         )
-    return run_shard_task(engine, task)
+    if task.threshold_slot is None or task.threshold_slot >= len(_WORKER_SLOTS):
+        return run_shard_task(engine, task)
+    shared = _SlotThreshold(_WORKER_SLOTS[task.threshold_slot], task.k)
+    return run_shard_task(
+        engine,
+        task,
+        external_threshold=shared.threshold,
+        result_sink=shared.offer,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -241,9 +297,23 @@ class ProcessShardExecutor:
     warm-up, shard searches run GIL-free in parallel.  Best for CPU-bound
     workloads (large candidate sets, scalar kernels, many cores); for
     I/O-dominated serving the thread backend wins on warm-up cost.
+
+    Distributed top-k: the executor owns a fixed pool of shared
+    ``multiprocessing.Value('d')`` threshold slots, created before the
+    worker pool so they are inherited through the pool initializer (shared
+    memory cannot ride the task queue).  The service leases one slot per
+    in-flight query (:meth:`acquire_slot` / :meth:`release_slot`); all the
+    query's shard tasks carry the slot index, and workers prune against
+    the fleet minimum published there (see :class:`_SlotThreshold`).  When
+    every slot is leased, further queries simply run without one —
+    correct, just without cross-shard pruning.
     """
 
     kind = "process"
+
+    #: Shared threshold slots per executor — bounds the number of
+    #: concurrently *pruning* queries, not the number of queries.
+    N_SLOTS = 64
 
     def __init__(
         self,
@@ -258,6 +328,29 @@ class ProcessShardExecutor:
         self._mp_context = mp_context
         self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
+        import multiprocessing
+
+        ctx = mp_context if mp_context is not None else multiprocessing
+        self._slots = [ctx.Value("d", math.inf) for _ in range(self.N_SLOTS)]
+        self._free_slots = list(range(self.N_SLOTS))
+
+    def acquire_slot(self) -> Optional[int]:
+        """Lease a threshold slot for one query, reset to ``inf`` (no
+        pruning bound yet); ``None`` when all slots are in flight."""
+        with self._lock:
+            if not self._free_slots:
+                return None
+            slot = self._free_slots.pop()
+        value = self._slots[slot]
+        with value.get_lock():
+            value.value = math.inf
+        return slot
+
+    def release_slot(self, slot: Optional[int]) -> None:
+        if slot is None:
+            return
+        with self._lock:
+            self._free_slots.append(slot)
 
     def _shared_pool(self) -> ProcessPoolExecutor:
         # Locked like the thread backend — a raced double-create here
@@ -268,7 +361,7 @@ class ProcessShardExecutor:
                     max_workers=self.max_workers,
                     mp_context=self._mp_context,
                     initializer=_worker_init,
-                    initargs=(self._spec,),
+                    initargs=(self._spec, self._slots),
                 )
             return self._pool
 

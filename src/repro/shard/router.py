@@ -8,7 +8,7 @@ Partitioning the *grid* instead would split one trajectory's points
 across shards and turn per-shard scores into partial sums — every merge
 would need a cross-shard repair pass.
 
-Two strategies:
+Three strategies:
 
 * ``hash`` — ``trajectory_id mod n_shards``.  Stateless, uniform for the
   dense sequential ids our generators produce, and inserts route without
@@ -18,14 +18,25 @@ Two strategies:
   co-resident, which matters when shards are rebuilt or migrated in id
   order; inserts route by binary search over the range starts, with ids
   beyond the last boundary landing on the last shard.
+* ``spatial`` — trajectories sorted by the Morton code of their centroid
+  and cut into ``n_shards`` equal-cardinality chunks, recorded as an
+  explicit id→shard directory.  Spatially-close trajectories land on the
+  same shard, so each shard's data occupies a compact region: combined
+  with shard-local grids (``ShardedGATIndex.build(shard_box='local')``)
+  a query's best-first expansion does real work only on the shards whose
+  region it touches, instead of every shard re-traversing the same cells
+  at ``1/n_shards`` density.  Ids unknown to the directory (inserted
+  later) fall back to ``hash`` routing — the sharded index's
+  insert-overflow handling rebuilds the target shard's grid when the
+  newcomer lies outside its local box.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-STRATEGIES = ("hash", "range")
+STRATEGIES = ("hash", "range", "spatial")
 
 
 class ShardRouter:
@@ -36,13 +47,14 @@ class ShardRouter:
     be constructed directly.
     """
 
-    __slots__ = ("n_shards", "strategy", "_range_starts")
+    __slots__ = ("n_shards", "strategy", "_range_starts", "_assignments")
 
     def __init__(
         self,
         n_shards: int,
         strategy: str = "hash",
         range_starts: Optional[Sequence[int]] = None,
+        assignments: Optional[Dict[int, int]] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -59,10 +71,24 @@ class ShardRouter:
                 raise ValueError("range_starts must be strictly increasing")
         elif range_starts is not None:
             raise ValueError("range_starts only applies to the range strategy")
+        if strategy == "spatial":
+            if assignments is None:
+                raise ValueError(
+                    "spatial routing needs assignments (build via "
+                    "ShardRouter.for_database)"
+                )
+            bad = [s for s in assignments.values() if not 0 <= s < n_shards]
+            if bad:
+                raise ValueError(f"assignments reference unknown shards: {bad[:3]}")
+        elif assignments is not None:
+            raise ValueError("assignments only apply to the spatial strategy")
         self.n_shards = n_shards
         self.strategy = strategy
         self._range_starts: Optional[List[int]] = (
             list(range_starts) if range_starts is not None else None
+        )
+        self._assignments: Optional[Dict[int, int]] = (
+            dict(assignments) if assignments is not None else None
         )
 
     # ------------------------------------------------------------------
@@ -79,6 +105,11 @@ class ShardRouter:
         shard boundary.  ``hash`` ignores the ids (kept in the signature so
         callers can switch strategies without changing call sites).
         """
+        if strategy == "spatial":
+            raise ValueError(
+                "spatial routing needs trajectory geometry (build via "
+                "ShardRouter.for_database)"
+            )
         if strategy != "range":
             return cls(n_shards, strategy)
         ids = sorted(set(trajectory_ids))
@@ -92,8 +123,43 @@ class ShardRouter:
 
     @classmethod
     def for_database(cls, db, n_shards: int, strategy: str = "hash") -> "ShardRouter":
-        """A router over *db*'s current trajectory ids."""
-        return cls.for_ids((tr.trajectory_id for tr in db), n_shards, strategy)
+        """A router over *db*'s current trajectory ids.
+
+        ``spatial`` sorts trajectories by the Morton code of their centroid
+        on a ``1024 x 1024`` grid over the database bounding box and cuts
+        the order into ``n_shards`` equal-cardinality chunks — balanced
+        shard sizes with spatially compact shard regions.  Centroid ties
+        (and everything else) break by trajectory id, so the directory is
+        deterministic.
+        """
+        if strategy != "spatial":
+            return cls.for_ids((tr.trajectory_id for tr in db), n_shards, strategy)
+        if len(db) < n_shards:
+            raise ValueError(
+                f"spatial routing needs at least one trajectory per shard "
+                f"({len(db)} trajectories for {n_shards} shards)"
+            )
+        from repro.geometry.grid import GridLevel
+
+        leaf = GridLevel(db.bounding_box, 10)
+        keyed = sorted(
+            (
+                leaf.locate(
+                    (
+                        sum(p.x for p in tr) / len(tr),
+                        sum(p.y for p in tr) / len(tr),
+                    )
+                ),
+                tr.trajectory_id,
+            )
+            for tr in db
+        )
+        n = len(keyed)
+        assignments = {
+            tid: min(n_shards - 1, (i * n_shards) // n)
+            for i, (_code, tid) in enumerate(keyed)
+        }
+        return cls(n_shards, "spatial", assignments=assignments)
 
     # ------------------------------------------------------------------
     # Routing
@@ -103,6 +169,12 @@ class ShardRouter:
         freshly inserted trajectories always have a home)."""
         if self.strategy == "hash":
             return trajectory_id % self.n_shards
+        if self.strategy == "spatial":
+            # Directory hit for build-time ids; unknown (inserted) ids fall
+            # back to hash so they always have a home — the sharded index
+            # rebuilds/expands the target shard's grid when needed.
+            shard = self._assignments.get(trajectory_id)
+            return shard if shard is not None else trajectory_id % self.n_shards
         # Range: the last shard whose start is <= id; ids below the first
         # boundary clamp to shard 0, ids beyond the last to the last shard.
         return max(0, bisect_right(self._range_starts, trajectory_id) - 1)

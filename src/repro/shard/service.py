@@ -13,11 +13,22 @@ task into one pool, so batch-level and intra-query parallelism share the
 same worker budget and no shard sits idle while another query's slowest
 shard finishes.  Responses keep request order.
 
+Distributed top-k: shard tasks of one query prune and terminate against a
+cross-shard threshold on every backend — the in-process backends share a
+merged :class:`TopKCollector` (:class:`_SharedTopK`), and the process
+backend leases a shared-memory ``multiprocessing.Value`` slot per query
+into which each worker publishes its shard's local k-th distance (the
+fleet minimum upper-bounds the merged k-th, so pruning stays exact; see
+:class:`~repro.shard.executor.ProcessShardExecutor`).
+
 Statistics aggregate without double-counting: each shard runs on its own
 disk, caches, and counters, so a query's :class:`SearchStats` is the plain
 field-wise sum over its shards (``SearchStats.merge``), and the service's
 cache hit rates sum hits/lookups across the per-shard caches.  A query's
 ``latency_s`` is its *critical path* — the slowest shard's engine time.
+Per-shard work counters under a concurrent backend depend on pruning
+timing and are therefore not run-to-run deterministic (rankings always
+are).
 
 Result cache: identical requests are memoised exactly like
 :class:`~repro.service.service.QueryService`, keyed by the same query
@@ -32,6 +43,7 @@ service.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -155,7 +167,8 @@ class ShardedQueryService:
         )
         self._lock = threading.Lock()
         # Per-in-flight-query shared merged top-k, keyed by task group
-        # (thread/serial backends only; process workers cannot see it).
+        # (thread/serial backends; the process backend shares thresholds
+        # through leased multiprocessing.Value slots instead).
         self._shared: Dict[int, _SharedTopK] = {}
         self._group_ids = itertools.count(1)
         self._index_version: Tuple[int, ...] = index.version
@@ -198,8 +211,8 @@ class ShardedQueryService:
             shard_trajectories=tuple(
                 tuple(shard.db.trajectories) for shard in self.index.shards
             ),
-            bounding_box=shard0.grid.box,
-            gat_config=shard0.config,
+            bounding_boxes=self.index.shard_boxes,
+            gat_configs=tuple(shard.config for shard in self.index.shards),
             engine_config=self.engine_config,
             metric=self.metric,
             read_latency_s=shard0.disk.read_latency_s,
@@ -258,7 +271,24 @@ class ShardedQueryService:
     # ------------------------------------------------------------------
     # Fan-out / merge
     # ------------------------------------------------------------------
-    def _tasks_for(self, request: QueryRequest, group: int) -> List[ShardTask]:
+    def _tasks_for(
+        self, request: QueryRequest, group: int, threshold_slot: Optional[int] = None
+    ) -> List[ShardTask]:
+        """One task per shard, **nearest shard first**: tasks are ordered
+        by the distance from the query's centroid to each shard's data
+        centroid, so the shard most likely to hold the true top-k runs (or
+        is dequeued) earliest and seeds the cross-shard threshold that the
+        remaining shards prune against.  Matters most under a spatial
+        partition, where the far shards can then terminate after a few
+        cell pops; a pure ordering heuristic — results never depend on it.
+        """
+        centroids = self.index.shard_centroids
+        qx = sum(q.x for q in request.query) / len(request.query)
+        qy = sum(q.y for q in request.query) / len(request.query)
+        order = sorted(
+            range(self.n_shards),
+            key=lambda sid: math.hypot(centroids[sid][0] - qx, centroids[sid][1] - qy),
+        )
         return [
             ShardTask(
                 shard_id=sid,
@@ -267,8 +297,9 @@ class ShardedQueryService:
                 order_sensitive=request.order_sensitive,
                 explain=request.explain,
                 group=group,
+                threshold_slot=threshold_slot,
             )
-            for sid in range(self.n_shards)
+            for sid in order
         ]
 
     @staticmethod
@@ -300,14 +331,21 @@ class ShardedQueryService:
         if pending:
             tasks: List[ShardTask] = []
             groups: List[int] = []
+            slots: List[Optional[int]] = []
             in_process = not isinstance(self._executor, ProcessShardExecutor)
             for i in pending:
                 group = next(self._group_ids)
                 groups.append(group)
+                slot = None
                 if in_process:
                     with self._lock:
                         self._shared[group] = _SharedTopK(requests[i].k)
-                tasks.extend(self._tasks_for(requests[i], group))
+                else:
+                    # Process backend: lease a shared threshold slot so the
+                    # query's shard tasks prune against the fleet minimum.
+                    slot = self._executor.acquire_slot()
+                    slots.append(slot)
+                tasks.extend(self._tasks_for(requests[i], group, threshold_slot=slot))
             try:
                 results = self._executor.run(tasks)
             finally:
@@ -315,6 +353,9 @@ class ShardedQueryService:
                     with self._lock:
                         for group in groups:
                             self._shared.pop(group, None)
+                else:
+                    for slot in slots:
+                        self._executor.release_slot(slot)
             n = self.n_shards
             for offset, i in enumerate(pending):
                 shard_results = results[offset * n : (offset + 1) * n]

@@ -61,6 +61,20 @@ class TestKernelParity:
         _assert_answer_parity(scalar_ans, vector_ans)
         assert scalar_stats == vector_stats
 
+    def test_block_vs_vectorized(self, index, queries):
+        """The round-batched block kernel returns the same top-k and the
+        exact same counters as the per-candidate vectorized path."""
+        vector_ans, vector_stats = _run(index, queries, kernel="vectorized")
+        block_ans, block_stats = _run(index, queries, kernel="block")
+        _assert_answer_parity(vector_ans, block_ans)
+        assert vector_stats == block_stats
+
+    def test_block_vs_scalar(self, index, queries):
+        scalar_ans, scalar_stats = _run(index, queries, kernel="scalar")
+        block_ans, block_stats = _run(index, queries, kernel="block")
+        _assert_answer_parity(scalar_ans, block_ans)
+        assert scalar_stats == block_stats
+
     def test_batch_io_is_invisible(self, index, queries):
         on_ans, on_stats = _run(index, queries, batch_io=True)
         off_ans, off_stats = _run(index, queries, batch_io=False)
@@ -93,7 +107,8 @@ class TestEngineConfig:
     def test_defaults_roundtrip(self, index):
         engine = GATSearchEngine(index)
         assert engine.config == EngineConfig()
-        assert engine.kernel in ("scalar", "vectorized")
+        # auto resolves to the block kernel when numpy is importable.
+        assert engine.kernel in ("scalar", "block")
 
     def test_kwargs_override_config(self, index):
         config = EngineConfig(retrieval_batch=64, kernel="scalar")

@@ -1,0 +1,221 @@
+"""Property-based parity: the block kernel vs the per-candidate kernels.
+
+Randomized trajectories and queries drive whole validation rounds through
+the round-batched block entries (``prepare_block`` + ``block_dmm`` /
+``block_dmom`` / ``block_dmm_all_single``) and through the per-candidate
+vectorized and scalar paths, and require:
+
+* identical ``Dmm`` / ``Dmom`` values — exact where the block performs
+  the same float operations (single-activity rows, the batched DP, the
+  duplicated-layout ``Dmm``), last-ulp (1e-9 relative is orders looser)
+  where the partition-decomposed cover may re-associate 3+-term sums;
+* *exactly* identical evaluator counters (``dmm_evaluations`` /
+  ``dmom_evaluations`` / ``point_match_points``), abandonment
+  notwithstanding — the accounting is mask-derived by construction;
+* whole-engine agreement: identical top-k ids, distances, and every
+  ``SearchStats`` counter (disk reads included) across
+  ``kernel='block'|'vectorized'|'scalar'``, for Euclidean and Haversine,
+  mixed activity sets, and ragged trajectory lengths.
+
+Threshold abandonment is also exercised directly: with a finite running
+k-th threshold, a block value may flip to ``inf`` but only when the exact
+value exceeds the threshold — never the other way around.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import kernels
+from repro.core.evaluator import MatchEvaluator
+from repro.core.kernels import HAVE_NUMPY, INFINITY, QueryKernel
+from repro.core.query import Query, QueryPoint
+from repro.model.distance import EuclideanDistance, HaversineDistance
+from repro.model.point import TrajectoryPoint
+from repro.model.trajectory import ActivityTrajectory
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+EUCLID = EuclideanDistance()
+
+coord_st = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+acts_st = st.frozensets(st.integers(min_value=0, max_value=5), max_size=3)
+point_st = st.tuples(coord_st, coord_st, acts_st)
+#: Ragged lengths: rounds mix 1-point and 15-point trajectories.
+trajectory_st = st.lists(point_st, min_size=1, max_size=15)
+round_st = st.lists(trajectory_st, min_size=1, max_size=8)
+qpoint_st = st.tuples(
+    coord_st,
+    coord_st,
+    st.frozensets(st.integers(min_value=0, max_value=5), min_size=1, max_size=3),
+)
+query_st = st.lists(qpoint_st, min_size=1, max_size=4)
+single_query_st = st.lists(
+    st.tuples(coord_st, coord_st, st.integers(min_value=0, max_value=5)),
+    min_size=1,
+    max_size=4,
+)
+threshold_st = st.one_of(
+    st.just(INFINITY), st.floats(min_value=0.0, max_value=300.0)
+)
+
+
+def _round(raws):
+    return [
+        (ActivityTrajectory(tid, [TrajectoryPoint(x, y, a) for x, y, a in raw]), None)
+        for tid, raw in enumerate(raws)
+    ]
+
+
+def _query(raw):
+    return Query([QueryPoint(x, y, acts) for x, y, acts in raw])
+
+
+def _close(a, b):
+    if a == INFINITY or b == INFINITY:
+        return a == b
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class _Stats:
+    def __init__(self):
+        self.point_match_points = 0
+
+
+# ----------------------------------------------------------------------
+# Block Dmm vs per-candidate Dmm
+# ----------------------------------------------------------------------
+@given(query_st, round_st, st.booleans())
+@settings(max_examples=150, deadline=None)
+def test_block_dmm_values_and_counts(qraw, raws, haversine):
+    metric = HaversineDistance() if haversine else EUCLID
+    query = _query(qraw)
+    items = _round(raws)
+    qk = QueryKernel(query, metric)
+
+    block_stats = _Stats()
+    block = kernels.prepare_block(qk, items)
+    got = kernels.block_dmm(qk, block, block_stats)
+
+    cand_stats = _Stats()
+    for c, (trajectory, _p) in enumerate(items):
+        cand = kernels.prepare_candidate(qk, trajectory)
+        want = (
+            INFINITY
+            if cand is None
+            else kernels.dmm_prepared(qk, cand, cand_stats)
+        )
+        assert _close(float(got[c]), want), (c, float(got[c]), want)
+    assert block_stats.point_match_points == cand_stats.point_match_points
+
+
+@given(single_query_st, round_st)
+@settings(max_examples=150, deadline=None)
+def test_all_single_fast_dmm_is_bit_identical(qraw, raws):
+    """The duplicated-layout Dmm equals the per-candidate all-single path
+    exactly — same masked minima, same left-to-right row fold."""
+    query = Query([QueryPoint(x, y, frozenset({a})) for x, y, a in qraw])
+    items = _round(raws)
+    qk = QueryKernel(query, EUCLID)
+    assert qk.all_single
+
+    fast_stats = _Stats()
+    got = kernels.block_dmm_all_single(qk, items, fast_stats)
+
+    cand_stats = _Stats()
+    for c, (trajectory, _p) in enumerate(items):
+        cand = kernels.prepare_candidate(qk, trajectory)
+        want = (
+            INFINITY
+            if cand is None
+            else kernels.dmm_prepared(qk, cand, cand_stats)
+        )
+        assert float(got[c]) == want  # exact, not approximate
+    assert fast_stats.point_match_points == cand_stats.point_match_points
+
+
+@given(query_st, round_st, threshold_st)
+@settings(max_examples=100, deadline=None)
+def test_block_dmom_matches_gated_per_candidate_path(qraw, raws, threshold):
+    """block_dmom vs evaluator.dmom per candidate at the same round-start
+    threshold: identical counters always; identical values except that
+    block abandonment may turn an over-threshold value into inf."""
+    query = _query(qraw)
+    items = _round(raws)
+
+    block_eval = MatchEvaluator(kernel="block")
+    got = block_eval.dmom_batch(query, items, threshold)
+
+    cand_eval = MatchEvaluator(kernel="vectorized")
+    for c, (trajectory, _p) in enumerate(items):
+        want = cand_eval.dmom(query, trajectory, threshold=threshold)
+        if _close(got[c], want):
+            continue
+        # Abandonment: block may report inf where the per-candidate path
+        # computed a finite value — but only above the threshold, where
+        # the top-k collector would have rejected it anyway.
+        assert got[c] == INFINITY and want > threshold, (c, got[c], want)
+    assert block_eval.stats.dmom_evaluations == cand_eval.stats.dmom_evaluations
+    assert block_eval.stats.dmm_evaluations == cand_eval.stats.dmm_evaluations
+    assert (
+        block_eval.stats.point_match_points == cand_eval.stats.point_match_points
+    )
+
+
+@given(query_st, round_st)
+@settings(max_examples=100, deadline=None)
+def test_dmm_batch_counters_match_per_candidate_loop(qraw, raws):
+    query = _query(qraw)
+    items = _round(raws)
+
+    batch_eval = MatchEvaluator(kernel="block")
+    got = batch_eval.dmm_batch(query, items)
+
+    loop_eval = MatchEvaluator(kernel="vectorized")
+    for c, (trajectory, _p) in enumerate(items):
+        want = loop_eval.dmm(query, trajectory)
+        assert _close(got[c], want), (c, got[c], want)
+    assert batch_eval.stats.dmm_evaluations == loop_eval.stats.dmm_evaluations
+    assert (
+        batch_eval.stats.point_match_points == loop_eval.stats.point_match_points
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-engine agreement across kernels
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("order_sensitive", [False, True])
+@pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
+def test_engine_block_agreement(small_db, kernel, order_sensitive):
+    from dataclasses import fields
+
+    from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+    from repro.core.engine import GATSearchEngine
+    from repro.index.gat.index import GATConfig, GATIndex
+
+    index = GATIndex.build(small_db, GATConfig(depth=4, memory_levels=3))
+    gen = QueryWorkloadGenerator(
+        small_db, WorkloadConfig(n_query_points=3, n_activities_per_point=2, seed=23)
+    )
+    queries = gen.queries(6)
+
+    def run(k):
+        engine = GATSearchEngine(index, apl_cache_size=0, kernel=k)
+        answers, stats = [], []
+        for q in queries:
+            index.hicl.clear_cache()
+            ctx = engine.execute(q, 5, order_sensitive=order_sensitive)
+            answers.append([(r.trajectory_id, r.distance) for r in ctx.ranked])
+            stats.append({f.name: getattr(ctx.stats, f.name) for f in fields(ctx.stats)})
+        return answers, stats
+
+    block_ans, block_stats = run("block")
+    other_ans, other_stats = run(kernel)
+    assert [[t for t, _ in q] for q in block_ans] == [
+        [t for t, _ in q] for q in other_ans
+    ]
+    for qa, qb in zip(block_ans, other_ans):
+        for (_, da), (_, db) in zip(qa, qb):
+            assert math.isclose(da, db, rel_tol=1e-9, abs_tol=1e-12)
+    assert block_stats == other_stats

@@ -35,10 +35,32 @@ class TestBuild:
         assert sorted(seen) == sorted(tr.trajectory_id for tr in tiny_db)
         assert len(sharded) == len(tiny_db)
 
-    def test_every_shard_shares_the_global_grid_box(self, tiny_db):
+    def test_local_boxes_cover_each_shards_own_points(self, tiny_db):
+        """Default build: each shard's grid spans its own trajectories'
+        (padded) bounding box, which the global box always contains."""
         sharded = ShardedGATIndex.build(tiny_db, n_shards=4, config=CONFIG)
+        global_box = tiny_db.bounding_box
+        for shard in sharded.shards:
+            box = shard.grid.box
+            assert box == shard.db.bounding_box
+            for tr in shard.db:
+                for p in tr:
+                    assert box.min_x <= p.x <= box.max_x
+                    assert box.min_y <= p.y <= box.max_y
+            assert global_box.min_x <= box.min_x and box.max_x <= global_box.max_x
+            assert global_box.min_y <= box.min_y and box.max_y <= global_box.max_y
+        assert sharded.shard_boxes == tuple(s.grid.box for s in sharded.shards)
+
+    def test_global_box_mode_spans_every_shard(self, tiny_db):
+        sharded = ShardedGATIndex.build(
+            tiny_db, n_shards=4, config=CONFIG, shard_box="global"
+        )
         boxes = {shard.grid.box for shard in sharded.shards}
         assert boxes == {tiny_db.bounding_box}
+
+    def test_unknown_shard_box_rejected(self, tiny_db):
+        with pytest.raises(ValueError, match="shard_box"):
+            ShardedGATIndex.build(tiny_db, n_shards=2, config=CONFIG, shard_box="tight")
 
     def test_empty_shard_is_rejected(self, tiny_db):
         with pytest.raises(ValueError, match="empty"):
