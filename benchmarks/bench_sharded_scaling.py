@@ -28,9 +28,12 @@ import json
 
 import pytest
 
-from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.bench.workloads import (
+    QueryWorkloadGenerator,
+    WorkloadConfig,
+    mixed_order_requests,
+)
 from repro.core.engine import EngineConfig
-from repro.service import QueryRequest
 from repro.shard import ShardedGATIndex, ShardedQueryService
 from repro.storage.disk import SimulatedDisk
 
@@ -55,10 +58,7 @@ BENCH_JSON = "BENCH_shards.json"
 @pytest.fixture(scope="module")
 def workload(la_db):
     gen = QueryWorkloadGenerator(la_db, WorkloadConfig(seed=bench_scale().seed))
-    return [
-        QueryRequest(q, k=K, order_sensitive=(i % 2 == 1))
-        for i, q in enumerate(gen.queries(N_QUERIES))
-    ]
+    return mixed_order_requests(gen.queries(N_QUERIES), K)
 
 
 def _disk_factory():

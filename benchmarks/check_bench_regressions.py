@@ -42,6 +42,12 @@ MANIFEST = {
     "BENCH_shards.json": {
         "rows[shards=4,executor=thread].speedup_vs_1shard": "higher",
     },
+    "BENCH_replicas.json": {
+        # The deterministic routers only; power-of-two is reported but its
+        # thread interleaving is not reproducible enough to gate.
+        "rows[replicas=2,router=round-robin].speedup_vs_1replica": "higher",
+        "rows[replicas=2,router=least-in-flight].speedup_vs_1replica": "higher",
+    },
     "BENCH_block.json": {
         "speedups.single-activity": "higher",  # block over vectorized
         "speedups.mixed-default": "higher",

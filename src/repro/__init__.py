@@ -70,7 +70,12 @@ from repro.core import (
     minimum_order_match_distance,
 )
 from repro.service import QueryRequest, QueryResponse, QueryService, ServiceStats
-from repro.shard import ShardedGATIndex, ShardedQueryService, ShardRouter
+from repro.shard import (
+    ReplicatedShardedService,
+    ShardedGATIndex,
+    ShardedQueryService,
+    ShardRouter,
+)
 from repro.index import GATIndex, InvertedIndex, IRTree, RTree
 from repro.index.gat.index import GATConfig
 from repro.baselines import InvertedListSearch, IRTreeSearch, RTreeSearch
@@ -105,6 +110,7 @@ __all__ = [
     "ShardRouter",
     "ShardedGATIndex",
     "ShardedQueryService",
+    "ReplicatedShardedService",
     "InvertedIndex",
     "RTree",
     "IRTree",

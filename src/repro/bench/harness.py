@@ -151,9 +151,14 @@ class ExperimentHarness:
         n_shards: int = 2,
         executor: str = "thread",
         n_clients: int = 1,
+        n_replicas: int = 1,
+        replica_router: str = "round-robin",
     ) -> MethodTiming:
         """Serve the batch through a :class:`ShardedQueryService` over a
-        fresh sharded build of the harness database.
+        fresh sharded build of the harness database — or, with
+        ``n_replicas > 1``, through a
+        :class:`~repro.shard.replicas.ReplicatedShardedService` holding
+        that many copies of each shard behind *replica_router*.
 
         ``n_clients > 1`` splits the workload round-robin
         (:func:`~repro.bench.workloads.shard_workload`) and submits each
@@ -166,12 +171,25 @@ class ExperimentHarness:
         from concurrent.futures import ThreadPoolExecutor
 
         from repro.bench.workloads import shard_workload
-        from repro.shard import ShardedGATIndex, ShardedQueryService
+        from repro.shard import (
+            ReplicatedShardedService,
+            ShardedGATIndex,
+            ShardedQueryService,
+        )
 
         sharded = ShardedGATIndex.build(
             self.db, n_shards=n_shards, config=self.gat_config
         )
-        with ShardedQueryService(sharded, executor=executor) as service:
+        if n_replicas > 1:
+            service_cm = ReplicatedShardedService(
+                sharded,
+                executor=executor,
+                n_replicas=n_replicas,
+                replica_router=replica_router,
+            )
+        else:
+            service_cm = ShardedQueryService(sharded, executor=executor)
+        with service_cm as service:
             t0 = time.perf_counter()
             if n_clients <= 1:
                 responses = service.search_many(
@@ -189,8 +207,11 @@ class ExperimentHarness:
                     responses = [r for f in futures for r in f.result()]
             wall = time.perf_counter() - t0
             stats = service.stats()
+        method = f"GAT/{n_shards}sh×{executor}"
+        if n_replicas > 1:
+            method += f"×{n_replicas}rep"
         return MethodTiming(
-            method=f"GAT/{n_shards}sh×{executor}",
+            method=method,
             total_seconds=wall,
             n_queries=len(responses),
             candidates=sum(r.stats.candidates_retrieved for r in responses),

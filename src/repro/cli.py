@@ -42,7 +42,12 @@ from repro.data.presets import dataset_from_preset
 from repro.index.gat.index import GATConfig, GATIndex
 from repro.model.database import TrajectoryDatabase
 from repro.service import QueryRequest, QueryService
-from repro.shard import ShardedGATIndex, ShardedQueryService
+from repro.shard import (
+    REPLICA_ROUTERS,
+    ReplicatedShardedService,
+    ShardedGATIndex,
+    ShardedQueryService,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -120,6 +125,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "centroids — compact shard regions that pair with the "
         "shard-local grids)",
     )
+    p_query.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="copies of each shard served by the ReplicatedShardedService "
+        "(read scaling beyond one device per shard; 1 = unreplicated)",
+    )
+    p_query.add_argument(
+        "--replica-router",
+        choices=list(REPLICA_ROUTERS),
+        default="round-robin",
+        help="replica load-balancing for --replicas > 1: round-robin, "
+        "least-in-flight, or power-of-two (two random choices, pick the "
+        "less loaded)",
+    )
 
     p_sweep = sub.add_parser("sweep", help="run a paper figure sweep")
     p_sweep.add_argument("dataset", help=".jsonl dataset path")
@@ -165,15 +185,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_stack(args: argparse.Namespace):
+    """One place decides which stack serves and how output labels it:
+    ``(on_sharded_stack, label)``.  ``--replicas > 1`` promotes even a
+    1-shard run onto the sharded stack, since replication lives there."""
+    sharded = args.shards > 1 or args.replicas > 1
+    if not sharded:
+        return False, ""
+    label = f"{args.shards} shards/{args.executor}"
+    if args.replicas > 1:
+        label += f"×{args.replicas} replicas ({args.replica_router})"
+    return True, label
+
+
 def _build_query_service(db, args: argparse.Namespace):
     """The serving stack the ``query`` subcommand runs against: a plain
-    :class:`QueryService` for ``--shards 1``, a sharded fleet otherwise."""
+    :class:`QueryService` for ``--shards 1``, a sharded fleet otherwise —
+    replicated when ``--replicas > 1``."""
     gat_config = GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
-    if args.shards > 1:
+    if _serving_stack(args)[0]:
         sharded = ShardedGATIndex.build(
             db, n_shards=args.shards, config=gat_config,
             strategy=args.shard_strategy,
         )
+        if args.replicas > 1:
+            return ReplicatedShardedService(
+                sharded,
+                engine_config=EngineConfig(kernel=args.kernel),
+                executor=args.executor,
+                n_replicas=args.replicas,
+                replica_router=args.replica_router,
+                max_workers=args.workers,  # None -> the executor's default
+            )
         return ShardedQueryService(
             sharded,
             engine_config=EngineConfig(kernel=args.kernel),
@@ -194,6 +237,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
         return 2
     db = load_database_jsonl(args.dataset)
     service = _build_query_service(db, args)
@@ -220,7 +266,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     label = "Dmom" if args.order_sensitive else "Dmm"
     # The sharded path annotates the header; the default path keeps the
     # seed's exact format.
-    where = f", {args.shards} shards/{args.executor}" if args.shards > 1 else ""
+    on_sharded, stack_label = _serving_stack(args)
+    where = f", {stack_label}" if on_sharded else ""
     print(f"\ntop-{args.k} ({label}{where}), {elapsed * 1000:.1f} ms:")
     for rank, r in enumerate(response.results, start=1):
         line = f"  #{rank}: trajectory {r.trajectory_id}  {label}={r.distance:.3f}"
@@ -245,10 +292,8 @@ def _run_query_batch(service, workload, args: argparse.Namespace) -> int:
     ]
     responses = service.search_many(requests)
     label = "Dmom" if args.order_sensitive else "Dmm"
-    if args.shards > 1:
-        spread = f"{args.shards} shards, {args.executor} executor"
-    else:
-        spread = f"{args.workers if args.workers else 8} workers"
+    on_sharded, stack_label = _serving_stack(args)
+    spread = stack_label if on_sharded else f"{args.workers if args.workers else 8} workers"
     print(f"batch of {len(responses)} queries ({label}, {spread}):")
     for i, resp in enumerate(responses):
         best = resp.results[0] if resp.results else None

@@ -205,6 +205,12 @@ class ServingMetrics:
             self._latency_sum = 0.0
             self._wall_seconds = 0.0
             self._disk_reads = 0
+            # Queries may be in flight while stats are being zeroed: the
+            # open busy interval must restart *now*, or the first
+            # exit_busy() after the reset would fold the entire pre-reset
+            # busy stretch back into wall_seconds and deflate qps.
+            if self._busy_depth > 0:
+                self._busy_since = time.perf_counter()
 
     def fill(self, stats: ServiceStats) -> ServiceStats:
         """Write the timing/volume fields into *stats* and return it."""
@@ -368,15 +374,22 @@ class QueryService:
         queries: Sequence[Union[QueryRequest, Query]],
         k: int = 10,
         order_sensitive: bool = False,
+        *,
+        explain: bool = False,
         max_workers: Optional[int] = None,
     ) -> List[QueryResponse]:
         """Answer a batch concurrently; response ``i`` answers request ``i``.
 
         Bare :class:`Query` items take the shared ``k``/``order_sensitive``
-        options; :class:`QueryRequest` items keep their own.
+        /``explain`` options; :class:`QueryRequest` items keep their own.
+        (``explain`` was once silently dropped here even though the result
+        cache keys on it — batched explain queries are first-class now.
+        It is keyword-only, as is ``max_workers``: the insertion must not
+        silently rebind an old positional worker-count argument.)
         """
         requests = [
-            self._as_request(q, k=k, order_sensitive=order_sensitive) for q in queries
+            self._as_request(q, k=k, order_sensitive=order_sensitive, explain=explain)
+            for q in queries
         ]
         workers = max_workers if max_workers is not None else self.max_workers
         self._enter_busy()

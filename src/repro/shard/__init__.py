@@ -12,6 +12,10 @@ The scale-out layer above the single-machine engine:
   across shards through a pluggable executor (serial / thread / process)
   and k-way merges the ranked lists; results are byte-identical to the
   unsharded engine.
+* :class:`~repro.shard.replicas.ReplicatedShardedService` — N copies of
+  every shard behind a pluggable :class:`~repro.shard.replicas.ReplicaRouter`
+  (round-robin / least-in-flight / power-of-two-choices), for read
+  scaling beyond one device per shard; rankings stay byte-identical.
 """
 
 from repro.shard.executor import (
@@ -25,6 +29,15 @@ from repro.shard.executor import (
     build_shard_engine,
 )
 from repro.shard.index import ShardedGATIndex
+from repro.shard.replicas import (
+    REPLICA_ROUTERS,
+    LeastInFlightRouter,
+    PowerOfTwoRouter,
+    ReplicaRouter,
+    ReplicatedShardedService,
+    RoundRobinRouter,
+    make_replica_router,
+)
 from repro.shard.router import ShardRouter
 from repro.shard.service import ShardedQueryService
 
@@ -32,6 +45,13 @@ __all__ = [
     "ShardRouter",
     "ShardedGATIndex",
     "ShardedQueryService",
+    "ReplicatedShardedService",
+    "ReplicaRouter",
+    "RoundRobinRouter",
+    "LeastInFlightRouter",
+    "PowerOfTwoRouter",
+    "REPLICA_ROUTERS",
+    "make_replica_router",
     "ShardTask",
     "ShardResult",
     "ShardEngineSpec",

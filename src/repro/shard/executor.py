@@ -64,6 +64,17 @@ class ShardTask:
     validation rounds via the engine's external-threshold hook.
     ``threshold_slot=None`` (serial/thread backends, or slot exhaustion)
     keeps the run-to-local-completion behaviour.
+
+    ``replica`` names which copy of the shard should serve the task under
+    a replicated tier (:mod:`repro.shard.replicas`).  The in-process
+    backends route dynamically at execution time (the field stays 0 and
+    the service's replica router picks a copy when a worker thread leases
+    an engine); the process backend routes at submission time — the field
+    carries the router's parent-side lease across the process boundary.
+    Worker-side it is metadata only: every worker process is already an
+    independent physical copy (own engines, own disks), so the replica
+    tier sizes the pool to ``n_shards × n_replicas`` workers rather than
+    duplicating engines inside each worker.
     """
 
     shard_id: int
@@ -73,6 +84,7 @@ class ShardTask:
     explain: bool = False
     group: int = 0
     threshold_slot: Optional[int] = None
+    replica: int = 0
 
 
 @dataclass(slots=True)
@@ -111,10 +123,12 @@ class ShardEngineSpec:
     gat_configs: Tuple[GATConfig, ...]
     engine_config: EngineConfig
     metric: Optional[object] = None
-    #: Per-read latency of the worker-side simulated disks, carried over
-    #: from the parent's shard disks so the process backend reproduces the
-    #: same I/O cost model as the in-process engines.
+    #: Per-read latency and device command depth of the worker-side
+    #: simulated disks, carried over from the parent's shard disks so the
+    #: process backend reproduces the same I/O cost model as the
+    #: in-process engines (``concurrent_reads=None`` = unbounded).
     read_latency_s: float = 0.0
+    concurrent_reads: Optional[int] = None
 
     @property
     def n_shards(self) -> int:
@@ -133,7 +147,10 @@ def build_shard_engine(spec: ShardEngineSpec, shard_id: int) -> GATSearchEngine:
     index = GATIndex.build(
         shard_db,
         spec.gat_configs[shard_id],
-        disk=SimulatedDisk(read_latency_s=spec.read_latency_s),
+        disk=SimulatedDisk(
+            read_latency_s=spec.read_latency_s,
+            concurrent_reads=spec.concurrent_reads,
+        ),
         bounding_box=spec.bounding_boxes[shard_id],
     )
     return GATSearchEngine(index, metric=spec.metric, config=spec.engine_config)
@@ -167,6 +184,11 @@ def run_shard_task(
 
 # Per-worker-process state: the spec and threshold slots arrive once via
 # the pool initializer; engines are built lazily per shard on first use.
+# Keyed by shard only, never (shard, replica): each worker process is
+# already a physically independent copy (its own engines and disks), so
+# per-replica keying inside one worker would only multiply engine builds
+# — up to (n_shards × n_replicas) per worker — without modelling any
+# extra device.
 _WORKER_SPEC: Optional[ShardEngineSpec] = None
 _WORKER_ENGINES: Dict[int, GATSearchEngine] = {}
 _WORKER_SLOTS: Sequence = ()
@@ -244,12 +266,18 @@ class SerialShardExecutor:
 
     def __init__(self, run_task: ShardRunner) -> None:
         self._run_task = run_task
+        self._closed = False
 
     def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+        if self._closed:
+            # No pool to leak, but a closed service's engines have shut
+            # their auxiliary io pools — serving on would silently
+            # resurrect them.  Same invariant as the pooled backends.
+            raise RuntimeError("SerialShardExecutor used after close()")
         return [self._run_task(task) for task in tasks]
 
     def close(self) -> None:
-        pass
+        self._closed = True
 
 
 class ThreadShardExecutor:
@@ -269,11 +297,17 @@ class ThreadShardExecutor:
         self.max_workers = max_workers
         self._lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
 
     def _shared_pool(self) -> ThreadPoolExecutor:
         # Locked: concurrent first submissions (several clients hitting a
         # fresh service) must not each create a pool and leak all but one.
         with self._lock:
+            if self._closed:
+                # A lazily created pool must not be silently resurrected
+                # after close() — the leaked pool would outlive the closed
+                # service.  Fail loudly instead.
+                raise RuntimeError("ThreadShardExecutor used after close()")
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.max_workers, thread_name_prefix="repro-shard"
@@ -286,6 +320,7 @@ class ThreadShardExecutor:
     def close(self) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
+            self._closed = True
         if pool is not None:
             pool.shutdown(wait=True)
 
@@ -328,6 +363,7 @@ class ProcessShardExecutor:
         self._mp_context = mp_context
         self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
         import multiprocessing
 
         ctx = mp_context if mp_context is not None else multiprocessing
@@ -356,6 +392,10 @@ class ProcessShardExecutor:
         # Locked like the thread backend — a raced double-create here
         # would leak a whole pool of worker processes.
         with self._lock:
+            if self._closed:
+                # Use-after-close would silently spawn a whole fresh pool
+                # of worker processes that nothing ever shuts down.
+                raise RuntimeError("ProcessShardExecutor used after close()")
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.max_workers,
@@ -381,5 +421,6 @@ class ProcessShardExecutor:
     def close(self) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
+            self._closed = True
         if pool is not None:
             pool.shutdown(wait=True)

@@ -201,6 +201,46 @@ class ShardedGATIndex:
             config, depth=depth, memory_levels=min(config.memory_levels, depth)
         )
 
+    def replicate(
+        self, disk_factory: Optional[Callable[[], SimulatedDisk]] = None
+    ) -> List[GATIndex]:
+        """One fresh :class:`GATIndex` per shard over the **same**
+        trajectory subset — a read replica set for the replicated serving
+        tier (:class:`~repro.shard.replicas.ReplicatedShardedService`).
+
+        Each replica is a full vertical slice of its own: the shard's
+        database subset re-indexed onto its own simulated disk, with the
+        shard's exact build config and grid bounding box, so replica
+        rankings are byte-identical to the primary's.  Without a
+        *disk_factory* every replica disk inherits the primary shard
+        disk's cost model (page size, read latency, and the
+        ``concurrent_reads`` command depth) — a replica is another copy of
+        the data on another device, not a faster device.
+
+        Replicas are read-only snapshots: they carry the primary's current
+        version, and a later :meth:`insert_trajectory` moves only the
+        primary's composite version.  The replicated service watches that
+        version and rebuilds its replica banks before serving the next
+        query, so inserts must quiesce serving exactly as they already
+        must for the primary.
+        """
+        replicas: List[GATIndex] = []
+        for shard in self.shards:
+            if disk_factory is not None:
+                disk = disk_factory()
+            else:
+                disk = SimulatedDisk(
+                    page_size=shard.disk.page_size,
+                    read_latency_s=shard.disk.read_latency_s,
+                    concurrent_reads=shard.disk.concurrent_reads,
+                )
+            replica = GATIndex.build(
+                shard.db, shard.config, disk=disk, bounding_box=shard.grid.box
+            )
+            replica.version = shard.version
+            replicas.append(replica)
+        return replicas
+
     # ------------------------------------------------------------------
     # Routing / mutation
     # ------------------------------------------------------------------

@@ -1,0 +1,445 @@
+"""Replica-aware serving tier: N copies of every shard, load-balanced.
+
+The last serving-scale axis.  PR 1 scaled one engine across threads,
+PR 2-4 scaled the index across kernels, shards, and processes — but read
+throughput stayed capped at **one copy of each shard**: every query that
+touches shard *s* queues on shard *s*'s single disk.  This module holds
+``n_replicas`` complete copies of each shard (replica = its own
+:class:`~repro.index.gat.index.GATIndex`, engine, and simulated disk over
+the *same* trajectory subset; under the process backend the worker
+processes themselves are the copies — the pool is sized ``n_shards ×
+n_replicas`` workers, each with its own engines and disks) and routes
+every :class:`~repro.shard.executor.ShardTask` to one copy through a
+pluggable :class:`ReplicaRouter`.
+
+Exactness: replicas are byte-identical copies, so *which* replica serves
+a task can never change the task's ranked list — routing moves latency
+and device load, never results.  One query's shard tasks still share a
+single distributed-top-k threshold (the group-keyed merged
+:class:`~repro.shard.service._SharedTopK` in-process, the leased
+``multiprocessing.Value`` slot under the process backend) **across
+whichever replicas serve them**, so cross-shard pruning is oblivious to
+replica placement and the merged ranking stays byte-identical to the
+unreplicated :class:`~repro.shard.service.ShardedQueryService`.
+
+Routing strategies (all thread-safe, all tracking per-``(shard,
+replica)`` in-flight depth):
+
+* ``round-robin`` — cycle replicas per shard; the stateless default,
+  perfectly balanced for uniform tasks.
+* ``least-in-flight`` — send the task to the replica currently serving
+  the fewest tasks of that shard (ties to the lowest replica id); adapts
+  to skewed task costs at the price of a global view.
+* ``power-of-two`` — sample two replicas, pick the less loaded (the
+  classic load-balancing result: two random choices get exponentially
+  close to least-loaded without its coordination cost).  Seedable for
+  reproducible dispatch *sequences*; results never depend on the seed.
+
+When to route: the in-process backends (serial/thread) bind a task to a
+replica at **execution** time — the moment a worker thread leases an
+engine — so in-flight depth means "executing right now".  The process
+backend binds at **submission** time (the task carries its replica id
+across the process boundary), so depth there means "dispatched, not yet
+completed"; the lease is released when the fan-out returns.
+
+Mutation: replicas are read-only snapshots.  An insert goes through the
+primary :class:`~repro.shard.index.ShardedGATIndex` (quiesce the service,
+as always), moves the composite version, and the next query's version
+check rebuilds the replica banks from the mutated shards — the same
+snapshot-refresh contract the process backend already follows.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import replace as dc_replace
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine import EngineConfig, GATSearchEngine
+from repro.index.gat.index import GATIndex
+from repro.model.distance import DistanceMetric
+from repro.shard.executor import ProcessShardExecutor, ShardTask
+from repro.shard.index import ShardedGATIndex
+from repro.shard.service import ShardedQueryService, _minus_cache_stats
+from repro.storage.cache import CacheStats
+from repro.storage.disk import SimulatedDisk
+
+REPLICA_ROUTERS = ("round-robin", "least-in-flight", "power-of-two")
+
+
+class ReplicaRouter:
+    """Base replica picker: thread-safe in-flight accounting plus a
+    strategy-specific :meth:`_pick`.
+
+    ``route`` leases one replica of *shard_id* (incrementing its in-flight
+    depth) and ``release`` returns the lease; the depth table is what the
+    load-aware strategies read, and what tests introspect via
+    :meth:`in_flight`.
+    """
+
+    strategy = "?"
+
+    def __init__(self, n_shards: int, n_replicas: int) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.n_shards = n_shards
+        self.n_replicas = n_replicas
+        self._lock = threading.Lock()
+        self._in_flight: List[List[int]] = [
+            [0] * n_replicas for _ in range(n_shards)
+        ]
+        self._routed = 0
+
+    def route(self, shard_id: int) -> int:
+        """Lease a replica of *shard_id* for one task."""
+        with self._lock:
+            replica = self._pick(shard_id)
+            self._in_flight[shard_id][replica] += 1
+            self._routed += 1
+            return replica
+
+    def release(self, shard_id: int, replica: int) -> None:
+        """Return a lease taken by :meth:`route`."""
+        with self._lock:
+            depths = self._in_flight[shard_id]
+            if depths[replica] <= 0:
+                raise RuntimeError(
+                    f"release without matching route (shard {shard_id}, "
+                    f"replica {replica})"
+                )
+            depths[replica] -= 1
+
+    def in_flight(self, shard_id: int) -> Tuple[int, ...]:
+        """Current per-replica in-flight depths of one shard."""
+        with self._lock:
+            return tuple(self._in_flight[shard_id])
+
+    @property
+    def routed(self) -> int:
+        """Total tasks routed since construction (accounting aid)."""
+        with self._lock:
+            return self._routed
+
+    def _pick(self, shard_id: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RoundRobinRouter(ReplicaRouter):
+    """Cycle through a shard's replicas in order, one task each."""
+
+    strategy = "round-robin"
+
+    def __init__(self, n_shards: int, n_replicas: int) -> None:
+        super().__init__(n_shards, n_replicas)
+        self._next = [0] * n_shards
+
+    def _pick(self, shard_id: int) -> int:
+        replica = self._next[shard_id]
+        self._next[shard_id] = (replica + 1) % self.n_replicas
+        return replica
+
+
+class LeastInFlightRouter(ReplicaRouter):
+    """Send each task to the replica with the fewest in-flight tasks of
+    its shard (ties break to the lowest replica id, deterministically)."""
+
+    strategy = "least-in-flight"
+
+    def _pick(self, shard_id: int) -> int:
+        depths = self._in_flight[shard_id]
+        return min(range(self.n_replicas), key=depths.__getitem__)
+
+
+class PowerOfTwoRouter(ReplicaRouter):
+    """Power-of-two-choices on in-flight depth: sample two distinct
+    replicas uniformly, route to the shallower (ties to the lower id)."""
+
+    strategy = "power-of-two"
+
+    def __init__(
+        self, n_shards: int, n_replicas: int, seed: Optional[int] = None
+    ) -> None:
+        super().__init__(n_shards, n_replicas)
+        self._rng = random.Random(seed)
+
+    def _pick(self, shard_id: int) -> int:
+        if self.n_replicas == 1:
+            return 0
+        a, b = self._rng.sample(range(self.n_replicas), 2)
+        depths = self._in_flight[shard_id]
+        if depths[a] != depths[b]:
+            return a if depths[a] < depths[b] else b
+        return min(a, b)
+
+
+def make_replica_router(
+    strategy: str, n_shards: int, n_replicas: int, seed: Optional[int] = None
+) -> ReplicaRouter:
+    """Build a router by strategy name (see :data:`REPLICA_ROUTERS`)."""
+    if strategy == "round-robin":
+        return RoundRobinRouter(n_shards, n_replicas)
+    if strategy == "least-in-flight":
+        return LeastInFlightRouter(n_shards, n_replicas)
+    if strategy == "power-of-two":
+        return PowerOfTwoRouter(n_shards, n_replicas, seed=seed)
+    raise ValueError(
+        f"unknown replica router {strategy!r}; expected one of {REPLICA_ROUTERS}"
+    )
+
+
+class ReplicatedShardedService(ShardedQueryService):
+    """A :class:`ShardedQueryService` with ``n_replicas`` copies of every
+    shard behind a :class:`ReplicaRouter`.
+
+    Parameters (beyond the base service's)
+    --------------------------------------
+    n_replicas:
+        Copies of each shard.  ``1`` degenerates to the base service
+        (every router then always picks replica 0).
+    replica_router:
+        A strategy name from :data:`REPLICA_ROUTERS`, or a prebuilt
+        :class:`ReplicaRouter` (must match the fleet's shape).
+    router_seed:
+        Seed for the ``power-of-two`` sampler (reproducible dispatch
+        sequences; rankings never depend on it).
+    replica_disk_factory:
+        Called once per replica shard to create its disk.  Default:
+        every replica disk clones the primary shard disk's cost model
+        (page size, latency, ``concurrent_reads``), so a replica is
+        another copy on another identical device.  In-process backends
+        only — process workers always rebuild replica disks from the
+        spec (the primary's cost model), so passing a factory with
+        ``executor='process'`` raises rather than silently ignoring it.
+    max_workers:
+        Defaults scale with the replica tier: ``4 × n_shards ×
+        n_replicas`` threads (four queries' worth of fan-out per replica
+        fleet) or ``n_shards × n_replicas`` process workers — capacity
+        grows with the copies, which is the point of replication.
+
+    The in-process backends (serial/thread) hold the replica engine banks
+    in this object; the process backend realises replicas as the worker
+    processes themselves (pool sized ``n_shards × n_replicas``, each
+    worker its own engines and disks) and stamps each task's replica at
+    submission purely for the router's lease accounting.
+    """
+
+    def __init__(
+        self,
+        index: ShardedGATIndex,
+        metric: Optional[DistanceMetric] = None,
+        engine_config: Optional[EngineConfig] = None,
+        executor: str = "thread",
+        n_replicas: int = 2,
+        replica_router: Union[str, ReplicaRouter] = "round-robin",
+        router_seed: Optional[int] = None,
+        replica_disk_factory: Optional[Callable[[], SimulatedDisk]] = None,
+        max_workers: Optional[int] = None,
+        result_cache_size: int = 1024,
+        mp_context=None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if replica_disk_factory is not None and executor == "process":
+            raise ValueError(
+                "replica_disk_factory is in-process only: process workers "
+                "rebuild replica disks from the engine spec (the primary "
+                "shards' cost model)"
+            )
+        self.n_replicas = n_replicas
+        if isinstance(replica_router, ReplicaRouter):
+            if (
+                replica_router.n_shards != index.n_shards
+                or replica_router.n_replicas != n_replicas
+            ):
+                raise ValueError(
+                    "replica_router shape "
+                    f"({replica_router.n_shards}×{replica_router.n_replicas}) "
+                    f"does not match the fleet ({index.n_shards}×{n_replicas})"
+                )
+            self.router = replica_router
+        else:
+            self.router = make_replica_router(
+                replica_router, index.n_shards, n_replicas, seed=router_seed
+            )
+        if max_workers is None:
+            if executor == "thread":
+                max_workers = 4 * index.n_shards * n_replicas
+            elif executor == "process":
+                max_workers = index.n_shards * n_replicas
+        self._replica_disk_factory = replica_disk_factory
+        self._replica_indexes: List[List[GATIndex]] = []
+        self._banks: List[List[GATSearchEngine]] = []
+        self._bank_lock = threading.Lock()
+        super().__init__(
+            index,
+            metric=metric,
+            engine_config=engine_config,
+            executor=executor,
+            max_workers=max_workers,
+            result_cache_size=result_cache_size,
+            mp_context=mp_context,
+        )
+        # The process backend keeps its replicas worker-side; building
+        # in-process banks there would double memory for engines nothing
+        # would ever run on.
+        self._banks_in_process = not isinstance(self._executor, ProcessShardExecutor)
+        self._build_banks()
+        self._banks_version = self.index.version
+        # Re-baseline the cache deltas now that the replica banks exist
+        # (the base constructor snapshotted the primary only).
+        self._hicl_base = self._hicl_cache_stats()
+        self._apl_base = self._apl_cache_stats()
+
+    # ------------------------------------------------------------------
+    # Replica banks
+    # ------------------------------------------------------------------
+    def _build_banks(self) -> None:
+        """(Re)build the engine banks: bank 0 aliases the primary
+        engines; banks 1..n-1 are fresh replica slices."""
+        if not self._banks_in_process:
+            self._replica_indexes = []
+            self._banks = [self.engines]
+            return
+        self._replica_indexes = [
+            self.index.replicate(self._replica_disk_factory)
+            for _ in range(self.n_replicas - 1)
+        ]
+        banks = [self.engines]
+        for replica_set in self._replica_indexes:
+            banks.append(
+                [
+                    GATSearchEngine(
+                        shard, metric=self.metric, config=self.engine_config
+                    )
+                    for shard in replica_set
+                ]
+            )
+        self._banks = banks
+
+    def _resync_banks(self) -> None:
+        """Rebuild the replica banks after the primary mutated (inserts
+        quiesce the service, so no task is mid-flight on a stale bank)."""
+        with self._bank_lock:
+            version = self.index.version
+            if version == self._banks_version:
+                return
+            old_banks = self._banks[1:]
+            discarded_hicl = [
+                shard.hicl.cache_stats()
+                for replica_set in self._replica_indexes
+                for shard in replica_set
+            ]
+            discarded_apl = [
+                engine.apl_cache_stats() for bank in old_banks for engine in bank
+            ]
+            self._build_banks()
+            self._banks_version = version
+            # The rebuilt banks' caches start at zero, so the discarded
+            # counters must leave the baselines too — otherwise stats()
+            # would diff a "now" that lost them against a "base" that
+            # still holds them and report hit rates outside [0, 1].
+            with self._lock:
+                self._hicl_base = _minus_cache_stats(
+                    self._hicl_base, discarded_hicl
+                )
+                self._apl_base = _minus_cache_stats(self._apl_base, discarded_apl)
+            for bank in old_banks:
+                for engine in bank:
+                    engine.close()
+
+    def _check_version(self):
+        # Resync BEFORE the base class publishes the fresh version: a
+        # concurrent search that observes the new _index_version must
+        # never find stale replica banks behind it (it would skip the
+        # resync and lease a pre-insert engine).  _resync_banks is keyed
+        # on _banks_version under its own lock, so whichever thread gets
+        # there first rebuilds and latecomers block until the new banks
+        # are published.
+        if (
+            self._banks_in_process
+            and self.n_replicas > 1
+            and self.index.version != self._index_version
+        ):
+            self._resync_banks()
+        return super()._check_version()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _lease_engine(self, task: ShardTask):
+        """In-process dispatch: bind the task to a replica now, run it on
+        that bank's engine, release the lease when the task finishes."""
+        shard_id = task.shard_id
+        replica = self.router.route(shard_id)
+        try:
+            engine = self._banks[replica][shard_id]
+        except IndexError:  # pragma: no cover - defensive
+            self.router.release(shard_id, replica)
+            raise
+        return engine, lambda: self.router.release(shard_id, replica)
+
+    def _tasks_for(
+        self, request, group: int, threshold_slot: Optional[int] = None
+    ) -> List[ShardTask]:
+        tasks = super()._tasks_for(request, group, threshold_slot)
+        if self._banks_in_process:
+            return tasks  # replica bound at execution time instead
+        # Process backend: the replica must ride the task across the
+        # process boundary, so bind at submission.  The lease is released
+        # in _after_fanout once the whole fan-out returns.
+        return [
+            dc_replace(task, replica=self.router.route(task.shard_id))
+            for task in tasks
+        ]
+
+    def _after_fanout(self, tasks: Sequence[ShardTask]) -> None:
+        if self._banks_in_process:
+            return
+        for task in tasks:
+            self.router.release(task.shard_id, task.replica)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / accounting
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        super().close()  # executor + primary engines
+        for bank in self._banks[1:]:
+            for engine in bank:
+                engine.close()
+
+    def stats(self):
+        # Serialized against _resync_banks (which holds _bank_lock for
+        # the whole bank swap + baseline adjustment): a concurrent poll
+        # must observe either the old banks with the old baselines or
+        # the new with the new — a torn read would diff the rebuilt
+        # zero-counter caches against the fat pre-rebuild baselines and
+        # report hit rates outside [0, 1].  Lock order everywhere is
+        # _bank_lock → _lock, so this cannot deadlock.
+        with self._bank_lock:
+            return super().stats()
+
+    def reset_stats(self) -> None:
+        with self._bank_lock:
+            super().reset_stats()
+
+    def _all_engines(self) -> List[GATSearchEngine]:
+        banks = self._banks
+        if not banks:
+            return self.engines  # mid-construction: primary only
+        return [engine for bank in banks for engine in bank]
+
+    def _hicl_cache_stats(self) -> CacheStats:
+        parts = [self.index.hicl_cache_stats()]
+        for replica_set in self._replica_indexes:
+            parts.extend(shard.hicl.cache_stats() for shard in replica_set)
+        return CacheStats.combined(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicatedShardedService({self.n_shards} shards × "
+            f"{self.n_replicas} replicas, router={self.router.strategy!r}, "
+            f"executor={self.executor_kind!r})"
+        )

@@ -76,6 +76,31 @@ from repro.shard.index import ShardedGATIndex
 from repro.storage.cache import CacheStats, LRUCache
 
 
+def _minus_cache_stats(
+    base: Optional[CacheStats], discarded: Sequence[Optional[CacheStats]]
+) -> Optional[CacheStats]:
+    """Subtract discarded caches' counters from a baseline snapshot.
+
+    When an engine or replica bank is rebuilt its caches vanish from the
+    "now" side of the service's delta-hit-rate accounting; subtracting
+    their final counters from the stored baseline keeps the delta
+    consistent: the surviving caches' activity since the last reset stays
+    measured, the vanished caches contribute exactly the lookups they
+    served between the reset and the rebuild, and the rate stays within
+    [0, 1].  (The adjusted baseline's fields may go negative — that is
+    fine, only differences are ever read.)
+    """
+    gone = CacheStats.combined(list(discarded))
+    if base is None or gone is None:
+        return base
+    return CacheStats(
+        hits=base.hits - gone.hits,
+        misses=base.misses - gone.misses,
+        size=base.size - gone.size,
+        capacity=base.capacity - gone.capacity,
+    )
+
+
 class _SharedTopK:
     """One query's cross-shard merged top-k, shared by its shard tasks.
 
@@ -192,15 +217,33 @@ class ShardedQueryService:
     def _run_task(self, task: ShardTask) -> ShardResult:
         """In-process task runner (serial and thread backends): shard
         tasks of one query prune against their shared merged top-k."""
-        shared = self._shared.get(task.group)
-        if shared is None:  # defensive: run standalone, still exact
-            return run_shard_task(self.engines[task.shard_id], task)
-        return run_shard_task(
-            self.engines[task.shard_id],
-            task,
-            external_threshold=shared.kth_distance,
-            result_sink=shared.offer,
-        )
+        # _run_many mutates _shared from other threads (registering and
+        # popping groups of concurrent batches), so even the read-side
+        # lookup must hold the lock — an unlocked dict read races the
+        # writers' rehash on free-threaded builds.
+        with self._lock:
+            shared = self._shared.get(task.group)
+        engine, release = self._lease_engine(task)
+        try:
+            if shared is None:  # defensive: run standalone, still exact
+                return run_shard_task(engine, task)
+            return run_shard_task(
+                engine,
+                task,
+                external_threshold=shared.kth_distance,
+                result_sink=shared.offer,
+            )
+        finally:
+            if release is not None:
+                release()
+
+    def _lease_engine(self, task: ShardTask):
+        """Pick the engine an in-process task runs on: ``(engine,
+        release)`` where *release* (or ``None``) is called once the task
+        finishes.  The base service has exactly one copy of each shard;
+        the replicated tier overrides this to route the task to a replica
+        and to return the router's lease release."""
+        return self.engines[task.shard_id], None
 
     def _make_spec(self) -> ShardEngineSpec:
         """A picklable snapshot of the current fleet for process workers."""
@@ -216,6 +259,7 @@ class ShardedQueryService:
             engine_config=self.engine_config,
             metric=self.metric,
             read_latency_s=shard0.disk.read_latency_s,
+            concurrent_reads=shard0.disk.concurrent_reads,
         )
 
     # ------------------------------------------------------------------
@@ -231,10 +275,40 @@ class ShardedQueryService:
                 if version != self._index_version:
                     if self._result_cache is not None:
                         self._result_cache.clear()
+                    self._refresh_engines()
                     if isinstance(self._executor, ProcessShardExecutor):
                         self._executor.refresh(self._make_spec())
                     self._index_version = version
         return self._index_version
+
+    def _refresh_engines(self) -> None:
+        """Rebind per-shard engines whose underlying :class:`GATIndex`
+        object was *replaced* since construction.  An overflow insert
+        (:meth:`ShardedGATIndex._rebuild_expanded`) swaps a new index
+        into ``index.shards[sid]``; the engine built at construction
+        would otherwise keep serving the orphaned pre-insert snapshot.
+        Mutates ``self.engines`` in place so aliases of the list (the
+        replica tier's bank 0) see the rebound engines too.  Runs under
+        ``self._lock`` (from :meth:`_check_version`), which also guards
+        the baseline adjustment: the discarded engine's APL cache and the
+        orphaned index's HICL cache vanish from the "now" side of the
+        hit-rate deltas, so their counters must leave the baselines too.
+        """
+        discarded_hicl: List[CacheStats] = []
+        discarded_apl: List[Optional[CacheStats]] = []
+        for sid, shard in enumerate(self.index.shards):
+            if self.engines[sid].index is not shard:
+                old = self.engines[sid]
+                discarded_hicl.append(old.index.hicl.cache_stats())
+                discarded_apl.append(old.apl_cache_stats())
+                self.engines[sid] = GATSearchEngine(
+                    shard, metric=self.metric, config=self.engine_config
+                )
+                old.close()
+        if discarded_hicl:
+            self._hicl_base = _minus_cache_stats(self._hicl_base, discarded_hicl)
+        if discarded_apl:
+            self._apl_base = _minus_cache_stats(self._apl_base, discarded_apl)
 
     def _cache_lookup(self, request: QueryRequest) -> Optional[QueryResponse]:
         if self._result_cache is None:
@@ -302,6 +376,11 @@ class ShardedQueryService:
             for sid in order
         ]
 
+    def _after_fanout(self, tasks: Sequence[ShardTask]) -> None:
+        """Hook run after a fan-out's tasks complete (or fail), alongside
+        slot/group cleanup.  No-op here; the replicated tier releases the
+        submission-time replica leases of process-backend tasks."""
+
     @staticmethod
     def _merge(
         request: QueryRequest, shard_results: Sequence[ShardResult]
@@ -356,6 +435,7 @@ class ShardedQueryService:
                 else:
                     for slot in slots:
                         self._executor.release_slot(slot)
+                self._after_fanout(tasks)
             n = self.n_shards
             for offset, i in enumerate(pending):
                 shard_results = results[offset * n : (offset + 1) * n]
@@ -393,15 +473,21 @@ class ShardedQueryService:
         queries: Sequence[Union[QueryRequest, Query]],
         k: int = 10,
         order_sensitive: bool = False,
+        *,
+        explain: bool = False,
     ) -> List[QueryResponse]:
         """Answer a batch; response ``i`` answers request ``i``.
 
         The whole batch's shard tasks share one flattened submission, so
         concurrency across queries and across shards comes from the same
-        pool — no per-query barrier.
+        pool — no per-query barrier.  ``explain`` applies to every bare
+        :class:`Query` in the batch (prebuilt requests keep their own
+        flag), exactly like ``search`` — batched explain queries must not
+        silently lose their matched-point annotations.
         """
         requests = [
-            self._as_request(q, k=k, order_sensitive=order_sensitive) for q in queries
+            self._as_request(q, k=k, order_sensitive=order_sensitive, explain=explain)
+            for q in queries
         ]
         self._metrics.enter_busy()
         try:
@@ -431,8 +517,17 @@ class ShardedQueryService:
     # ------------------------------------------------------------------
     def _apl_cache_stats(self) -> Optional[CacheStats]:
         return CacheStats.combined(
-            [engine.apl_cache_stats() for engine in self.engines]
+            [engine.apl_cache_stats() for engine in self._all_engines()]
         )
+
+    def _all_engines(self) -> List[GATSearchEngine]:
+        """Every in-process engine the service can route to — the replica
+        tier overrides this so cache accounting spans its replica banks."""
+        return self.engines
+
+    def _hicl_cache_stats(self) -> CacheStats:
+        """Fleet HICL cache accounting; the replica tier adds its banks."""
+        return self.index.hicl_cache_stats()
 
     _delta_hit_rate = staticmethod(delta_hit_rate)
 
@@ -445,16 +540,20 @@ class ShardedQueryService:
         worker processes own their engines — so those rates read 0.
         """
         with self._lock:
-            hicl_base, apl_base = self._hicl_base, self._apl_base
+            # Both sides of each delta under one lock: _refresh_engines
+            # (overflow insert) swaps zero-counter caches in and adjusts
+            # the baselines atomically under this same lock, so a reader
+            # must never pair the new "now" with the old baseline (or
+            # vice versa) — that torn diff reads outside [0, 1].
+            hicl_rate = self._delta_hit_rate(
+                self._hicl_cache_stats(), self._hicl_base
+            )
+            apl_rate = self._delta_hit_rate(self._apl_cache_stats(), self._apl_base)
             result_hits = self._result_hits
             result_lookups = self._result_lookups
         stats = self._metrics.fill(ServiceStats())
-        stats.hicl_cache_hit_rate = self._delta_hit_rate(
-            self.index.hicl_cache_stats(), hicl_base
-        )
-        stats.apl_cache_hit_rate = self._delta_hit_rate(
-            self._apl_cache_stats(), apl_base
-        )
+        stats.hicl_cache_hit_rate = hicl_rate
+        stats.apl_cache_hit_rate = apl_rate
         stats.result_cache_hits = result_hits
         stats.result_cache_lookups = result_lookups
         return stats
@@ -465,5 +564,5 @@ class ShardedQueryService:
         with self._lock:
             self._result_hits = 0
             self._result_lookups = 0
-            self._hicl_base = self.index.hicl_cache_stats()
+            self._hicl_base = self._hicl_cache_stats()
             self._apl_base = self._apl_cache_stats()

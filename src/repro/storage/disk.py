@@ -100,19 +100,56 @@ class SimulatedDisk:
     read_latency_s:
         Optional artificial latency injected per *read call* (not per page).
         Zero by default so tests and benchmarks stay fast and deterministic.
+    concurrent_reads:
+        How many latency-bearing reads the device serves at once.  ``None``
+        (default) keeps the historical contention-free model — every
+        sleeping reader overlaps freely, as if the store had unbounded
+        internal parallelism.  A positive value models a real device's
+        command depth: ``1`` is a single spinning-disk arm (concurrent
+        readers of one disk queue behind each other), higher values model
+        SSD-style parallelism.  Only the *latency* is gated; accounting is
+        untouched, so counters stay deterministic either way.  This is the
+        knob that makes shard **replication** a real serving axis: with one
+        copy of a shard there is one arm for all its readers, with N
+        replicas there are N.
     """
 
     def __init__(
-        self, page_size: int = DEFAULT_PAGE_SIZE, read_latency_s: float = 0.0
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        read_latency_s: float = 0.0,
+        concurrent_reads: Optional[int] = None,
     ) -> None:
         if page_size <= 0:
             raise ValueError("page size must be positive")
+        if concurrent_reads is not None and concurrent_reads < 1:
+            raise ValueError("concurrent_reads must be >= 1 (or None for unbounded)")
         self.page_size = page_size
         self.read_latency_s = read_latency_s
+        self.concurrent_reads = concurrent_reads
+        self._read_gate: Optional[threading.Semaphore] = (
+            threading.BoundedSemaphore(concurrent_reads)
+            if concurrent_reads is not None
+            else None
+        )
         self.stats = DiskStats()
         self._records: Dict[Hashable, _Record] = {}
         self._stats_lock = threading.Lock()
         self._local = threading.local()
+
+    def _pay_read_latency(self, n_reads: int = 1) -> None:
+        """Sleep out *n_reads* worth of read latency, queueing on the
+        device gate when the disk models bounded concurrency.  A multi-read
+        batch holds the gate once for its whole latency train — one
+        sequential command burst on one device, cheaper than n independent
+        seeks interleaved with other readers."""
+        if self.read_latency_s <= 0.0 or n_reads <= 0:
+            return
+        if self._read_gate is None:
+            time.sleep(self.read_latency_s * n_reads)
+            return
+        with self._read_gate:
+            time.sleep(self.read_latency_s * n_reads)
 
     # ------------------------------------------------------------------
     # Per-context accounting
@@ -187,8 +224,7 @@ class SimulatedDisk:
         """
         record = self._records[key]
         self._account_read(record.n_pages, len(record.payload))
-        if self.read_latency_s > 0.0:
-            time.sleep(self.read_latency_s)
+        self._pay_read_latency()
         return deserialize_obj(record.payload)
 
     def get_many(self, keys: List[Hashable], executor=None) -> List[Any]:
@@ -202,6 +238,14 @@ class SimulatedDisk:
         read_latency_s`` — the thread-offloaded gather); without one the
         latencies are paid back to back, exactly like sequential gets.
 
+        Under a bounded device (``concurrent_reads``) the two shapes
+        model different command streams, deliberately: the on-thread
+        gather holds the gate once for its whole latency train (one
+        contiguous burst, like a sequential read of a sorted batch),
+        while the offloaded gather acquires the gate per read (NCQ-style
+        independent commands that interleave with other readers).  Both
+        respect the same device concurrency bound.
+
         Raises
         ------
         KeyError
@@ -212,10 +256,9 @@ class SimulatedDisk:
             self._account_read(record.n_pages, len(record.payload))
         if self.read_latency_s > 0.0 and records:
             if executor is not None and len(records) > 1:
-                delay = self.read_latency_s
-                list(executor.map(lambda _r: time.sleep(delay), records))
+                list(executor.map(lambda _r: self._pay_read_latency(), records))
             else:
-                time.sleep(self.read_latency_s * len(records))
+                self._pay_read_latency(len(records))
         return [deserialize_obj(record.payload) for record in records]
 
     def get_or_none(self, key: Hashable) -> Optional[Any]:

@@ -90,6 +90,20 @@ class TestHarness:
         assert timing.total_seconds > 0.0
         assert {"qps", "p50_ms", "p95_ms", "disk_reads"} <= set(timing.extra)
 
+    def test_run_sharded_batch_replicated(self, harness, queries):
+        timing = harness.run_sharded_batch(
+            queries,
+            k=3,
+            n_shards=2,
+            executor="thread",
+            n_replicas=2,
+            replica_router="least-in-flight",
+        )
+        assert timing.method == "GAT/2sh×thread×2rep"
+        assert timing.n_queries == len(queries)
+        assert timing.total_seconds > 0.0
+        assert {"qps", "p50_ms", "p95_ms", "disk_reads"} <= set(timing.extra)
+
 
 class TestReporting:
     def _fake_results(self):

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.bench.workloads import (
+    QueryWorkloadGenerator,
+    WorkloadConfig,
+    mixed_order_requests,
+)
 
 
 @pytest.fixture(scope="module")
@@ -127,3 +131,15 @@ class TestShardWorkload:
 
         with pytest.raises(ValueError):
             shard_workload([1], 0)
+
+
+class TestMixedOrderRequests:
+    def test_alternates_order_sensitivity(self, gen):
+        queries = gen.queries(5)
+        requests = mixed_order_requests(queries, k=7)
+        assert [r.order_sensitive for r in requests] == [
+            False, True, False, True, False,
+        ]
+        assert all(r.k == 7 for r in requests)
+        assert [r.query for r in requests] == queries
+        assert all(not r.explain for r in requests)

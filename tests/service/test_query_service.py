@@ -156,3 +156,74 @@ class TestServiceStats:
     def test_bad_workers_rejected(self, engine):
         with pytest.raises(ValueError):
             QueryService(engine, max_workers=0)
+
+
+class TestServingMetricsReset:
+    def test_reset_mid_flight_reanchors_busy_interval(self, monkeypatch):
+        """Regression: reset() while queries are in flight must restart
+        the open busy interval.  Pre-fix, the first exit_busy() after a
+        reset folded the entire *pre-reset* busy stretch back into
+        wall_seconds, deflating qps for the freshly zeroed window."""
+        from repro.service import service as service_mod
+
+        clock = {"now": 100.0}
+
+        class _FakeTime:
+            @staticmethod
+            def perf_counter():
+                return clock["now"]
+
+        monkeypatch.setattr(service_mod, "time", _FakeTime)
+        metrics = service_mod.ServingMetrics()
+        metrics.enter_busy()
+        clock["now"] += 50.0  # long pre-reset busy stretch
+        metrics.reset()  # stats zeroed while the query is still in flight
+        clock["now"] += 2.0  # post-reset serving time
+        metrics.exit_busy()
+        metrics.record([(2.0, 0)])
+        stats = metrics.fill(service_mod.ServiceStats())
+        assert stats.queries == 1
+        # Only the post-reset 2 s count; the 50 s before reset must not.
+        assert stats.wall_seconds == pytest.approx(2.0)
+        assert stats.qps == pytest.approx(0.5)
+
+    def test_reset_while_idle_still_zeroes(self, monkeypatch):
+        from repro.service import service as service_mod
+
+        metrics = service_mod.ServingMetrics()
+        metrics.enter_busy()
+        metrics.exit_busy()
+        metrics.record([(0.5, 3)])
+        metrics.reset()
+        stats = metrics.fill(service_mod.ServiceStats())
+        assert stats.queries == 0
+        assert stats.wall_seconds == 0.0
+        assert stats.disk_reads == 0
+
+
+class TestBatchedExplain:
+    def test_search_many_forwards_explain(self, engine, mixed_requests):
+        """Regression: ``explain`` was silently dropped by search_many
+        (there was no way to batch explain queries at all — the keyword
+        did not exist), even though the result-cache key includes it."""
+        queries = [r.query for r in mixed_requests[:5]]
+        with QueryService(engine, result_cache_size=0) as service:
+            batched = service.search_many(queries, k=4, explain=True)
+            assert all(resp.request.explain for resp in batched)
+            for query, response in zip(queries, batched):
+                single = service.search(query, k=4, explain=True)
+                assert [
+                    (r.trajectory_id, r.distance, r.matches)
+                    for r in response.results
+                ] == [
+                    (r.trajectory_id, r.distance, r.matches)
+                    for r in single.results
+                ]
+                assert all(r.matches is not None for r in response.results)
+
+    def test_search_many_default_stays_plain(self, engine, mixed_requests):
+        queries = [r.query for r in mixed_requests[:3]]
+        with QueryService(engine, result_cache_size=0) as service:
+            for response in service.search_many(queries, k=3):
+                assert response.request.explain is False
+                assert all(r.matches is None for r in response.results)

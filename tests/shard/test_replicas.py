@@ -1,0 +1,485 @@
+"""Replica tier: router strategies, byte-identical parity with the
+unreplicated service, replica bank lifecycle, and insert resync."""
+
+import copy
+import threading
+
+import pytest
+
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.index.gat.index import GATConfig
+from repro.model.point import TrajectoryPoint
+from repro.model.trajectory import ActivityTrajectory
+from repro.shard import (
+    REPLICA_ROUTERS,
+    LeastInFlightRouter,
+    PowerOfTwoRouter,
+    ReplicatedShardedService,
+    RoundRobinRouter,
+    ShardedGATIndex,
+    ShardedQueryService,
+    make_replica_router,
+)
+from repro.storage.disk import SimulatedDisk
+
+CONFIG = GATConfig(depth=4, memory_levels=3)
+
+
+def _queries(db, n=6, seed=17):
+    gen = QueryWorkloadGenerator(
+        db, WorkloadConfig(n_query_points=2, n_activities_per_point=2, seed=seed)
+    )
+    return gen.queries(n)
+
+
+def _rankings(responses):
+    return [
+        [(r.trajectory_id, r.distance) for r in resp.results] for resp in responses
+    ]
+
+
+# ----------------------------------------------------------------------
+# Routers (pure units)
+# ----------------------------------------------------------------------
+class TestReplicaRouters:
+    def test_round_robin_cycles_per_shard(self):
+        router = RoundRobinRouter(n_shards=2, n_replicas=3)
+        assert [router.route(0) for _ in range(5)] == [0, 1, 2, 0, 1]
+        # Each shard cycles independently.
+        assert router.route(1) == 0
+        assert router.in_flight(0) == (2, 2, 1)
+
+    def test_least_in_flight_picks_shallowest(self):
+        router = LeastInFlightRouter(n_shards=1, n_replicas=3)
+        assert router.route(0) == 0
+        assert router.route(0) == 1
+        assert router.route(0) == 2
+        router.release(0, 1)  # depths now (1, 0, 1)
+        assert router.route(0) == 1
+        # Tie (1, 1, 1) breaks to the lowest replica id, deterministically.
+        assert router.route(0) == 0
+
+    def test_power_of_two_prefers_less_loaded(self):
+        router = PowerOfTwoRouter(n_shards=1, n_replicas=2, seed=5)
+        first = router.route(0)
+        # With two replicas both are always sampled, so the second task
+        # must land on the other (empty) copy, whatever the rng does.
+        assert router.route(0) == 1 - first
+        assert router.in_flight(0) == (1, 1)
+
+    def test_power_of_two_seed_reproducible(self):
+        a = PowerOfTwoRouter(n_shards=1, n_replicas=4, seed=99)
+        b = PowerOfTwoRouter(n_shards=1, n_replicas=4, seed=99)
+        assert [a.route(0) for _ in range(20)] == [b.route(0) for _ in range(20)]
+
+    def test_release_without_route_raises(self):
+        router = RoundRobinRouter(n_shards=1, n_replicas=2)
+        with pytest.raises(RuntimeError):
+            router.release(0, 0)
+
+    def test_factory_and_validation(self):
+        for strategy in REPLICA_ROUTERS:
+            router = make_replica_router(strategy, 2, 2, seed=1)
+            assert router.strategy == strategy
+        with pytest.raises(ValueError):
+            make_replica_router("random", 2, 2)
+        with pytest.raises(ValueError):
+            RoundRobinRouter(n_shards=2, n_replicas=0)
+
+    def test_thread_safety_of_lease_accounting(self):
+        router = LeastInFlightRouter(n_shards=1, n_replicas=4)
+
+        def worker():
+            for _ in range(200):
+                replica = router.route(0)
+                router.release(0, replica)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert router.in_flight(0) == (0, 0, 0, 0)
+        assert router.routed == 1600
+
+
+# ----------------------------------------------------------------------
+# Parity: replication must be invisible in the rankings
+# ----------------------------------------------------------------------
+class TestReplicatedParity:
+    @pytest.fixture(scope="class")
+    def reference(self, tiny_db):
+        sharded = ShardedGATIndex.build(tiny_db, n_shards=3, config=CONFIG)
+        queries = _queries(tiny_db)
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as service:
+            atsq = _rankings(service.search_many(queries, k=4))
+            oatsq = _rankings(service.search_many(queries, k=4, order_sensitive=True))
+        return sharded, queries, atsq, oatsq
+
+    @pytest.mark.parametrize("router", REPLICA_ROUTERS)
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_rankings_byte_identical(self, reference, router, executor):
+        sharded, queries, atsq, oatsq = reference
+        with ReplicatedShardedService(
+            sharded,
+            executor=executor,
+            n_replicas=2,
+            replica_router=router,
+            router_seed=7,
+            result_cache_size=0,
+        ) as service:
+            assert _rankings(service.search_many(queries, k=4)) == atsq
+            assert (
+                _rankings(service.search_many(queries, k=4, order_sensitive=True))
+                == oatsq
+            )
+            # Every lease taken during the fan-outs was returned.
+            for sid in range(sharded.n_shards):
+                assert service.router.in_flight(sid) == (0, 0)
+            assert service.router.routed > 0
+
+    def test_three_replicas_serial(self, reference):
+        sharded, queries, atsq, _ = reference
+        with ReplicatedShardedService(
+            sharded,
+            executor="serial",
+            n_replicas=3,
+            replica_router="round-robin",
+            result_cache_size=0,
+        ) as service:
+            assert _rankings(service.search_many(queries, k=4)) == atsq
+
+    def test_batched_explain_parity(self, reference):
+        sharded, queries, _, _ = reference
+        with ReplicatedShardedService(
+            sharded,
+            executor="serial",
+            n_replicas=2,
+            replica_router="round-robin",
+            result_cache_size=0,
+        ) as service:
+            batched = service.search_many(queries[:3], k=3, explain=True)
+            for query, response in zip(queries[:3], batched):
+                single = service.search(query, k=3, explain=True)
+                assert [
+                    (r.trajectory_id, r.distance, r.matches)
+                    for r in response.results
+                ] == [
+                    (r.trajectory_id, r.distance, r.matches)
+                    for r in single.results
+                ]
+                assert all(r.matches is not None for r in response.results)
+
+
+class TestReplicatedProcessBackend:
+    def test_process_parity_and_lease_drain(self, tiny_db):
+        sharded = ShardedGATIndex.build(tiny_db, n_shards=2, config=CONFIG)
+        queries = _queries(tiny_db, n=3)
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as base:
+            expected = _rankings(base.search_many(queries, k=3))
+        with ReplicatedShardedService(
+            sharded,
+            executor="process",
+            n_replicas=2,
+            replica_router="least-in-flight",
+            result_cache_size=0,
+        ) as service:
+            assert _rankings(service.search_many(queries, k=3)) == expected
+            # Submission-time leases are all released once the fan-out
+            # returns.
+            for sid in range(sharded.n_shards):
+                assert service.router.in_flight(sid) == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# Mechanics: replicas really serve, leases drain, inserts resync
+# ----------------------------------------------------------------------
+class TestReplicaMechanics:
+    def test_replica_bank_actually_serves(self, tiny_db):
+        """Round-robin over 2 replicas: consecutive fan-outs alternate
+        banks, so the replica copies' own disks must see reads."""
+        sharded = ShardedGATIndex.build(tiny_db, n_shards=2, config=CONFIG)
+        query = _queries(tiny_db, n=1)[0]
+        with ReplicatedShardedService(
+            sharded,
+            executor="serial",
+            n_replicas=2,
+            replica_router="round-robin",
+            result_cache_size=0,
+        ) as service:
+            service.search(query, k=3)  # replica 0 (the primary bank)
+            service.search(query, k=3)  # replica 1
+            replica_reads = sum(
+                shard.disk.stats.reads for shard in service._replica_indexes[0]
+            )
+            assert replica_reads > 0
+
+    def test_default_replica_disks_clone_primary_cost_model(self, tiny_db):
+        sharded = ShardedGATIndex.build(
+            tiny_db,
+            n_shards=2,
+            config=CONFIG,
+            disk_factory=lambda: SimulatedDisk(
+                read_latency_s=0.001, concurrent_reads=2
+            ),
+        )
+        for replica in sharded.replicate():
+            assert replica.disk.read_latency_s == 0.001
+            assert replica.disk.concurrent_reads == 2
+            assert replica.disk is not sharded.shards[0].disk
+
+    def test_insert_resyncs_replica_banks(self, tiny_db):
+        db = copy.deepcopy(tiny_db)
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        query = _queries(db, n=1)[0]
+        with ReplicatedShardedService(
+            sharded,
+            executor="serial",
+            n_replicas=2,
+            replica_router="round-robin",
+            result_cache_size=0,
+        ) as service:
+            service.search(query, k=3)
+            tid = max(tr.trajectory_id for tr in db) + 1
+            new_tr = ActivityTrajectory(
+                tid,
+                [TrajectoryPoint(p.x, p.y, frozenset(p.activities)) for p in query],
+            )
+            sharded.insert_trajectory(new_tr)
+            # Two searches so round-robin provably hits the rebuilt
+            # replica bank (not just the always-fresh primary) for the
+            # owning shard; a stale replica could not return the new id.
+            for _ in range(2):
+                response = service.search(query, k=3)
+                assert response.results[0].trajectory_id == tid
+                assert response.results[0].distance == 0.0
+                assert response.stats.rounds > 0  # recomputed, never stale
+            assert service._banks_version == sharded.version
+
+    def test_result_cache_survives_replication(self, tiny_db):
+        sharded = ShardedGATIndex.build(tiny_db, n_shards=2, config=CONFIG)
+        query = _queries(tiny_db, n=1)[0]
+        with ReplicatedShardedService(
+            sharded, executor="serial", n_replicas=2
+        ) as service:
+            service.search(query, k=3)
+            repeat = service.search(query, k=3)
+            assert repeat.stats.rounds == 0  # served from the result cache
+            stats = service.stats()
+            assert stats.result_cache_hits == 1
+            assert stats.queries == 2
+
+    def test_validation_errors(self, tiny_db):
+        sharded = ShardedGATIndex.build(tiny_db, n_shards=2, config=CONFIG)
+        with pytest.raises(ValueError):
+            ReplicatedShardedService(sharded, n_replicas=0)
+        wrong_shape = RoundRobinRouter(n_shards=3, n_replicas=2)
+        with pytest.raises(ValueError):
+            ReplicatedShardedService(
+                sharded, n_replicas=2, replica_router=wrong_shape
+            )
+        with pytest.raises(ValueError):
+            ReplicatedShardedService(
+                sharded, n_replicas=2, replica_router="random-spray"
+            )
+        with pytest.raises(ValueError, match="in-process only"):
+            ReplicatedShardedService(
+                sharded,
+                n_replicas=2,
+                executor="process",
+                replica_disk_factory=SimulatedDisk,
+            )
+
+    def test_single_replica_degenerates_to_base(self, tiny_db):
+        sharded = ShardedGATIndex.build(tiny_db, n_shards=2, config=CONFIG)
+        queries = _queries(tiny_db, n=3)
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as base:
+            expected = _rankings(base.search_many(queries, k=3))
+        with ReplicatedShardedService(
+            sharded, executor="serial", n_replicas=1, result_cache_size=0
+        ) as service:
+            assert _rankings(service.search_many(queries, k=3)) == expected
+            assert service._replica_indexes == []
+
+    def test_close_is_idempotent_and_closes_banks(self, tiny_db):
+        sharded = ShardedGATIndex.build(tiny_db, n_shards=2, config=CONFIG)
+        service = ReplicatedShardedService(
+            sharded, executor="thread", n_replicas=2, result_cache_size=0
+        )
+        service.search(_queries(tiny_db, n=1)[0], k=2)
+        service.close()
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.search(_queries(tiny_db, n=1)[0], k=2)
+
+
+class TestProcessCostModelCarryOver:
+    def test_spec_ships_concurrent_reads_to_workers(self, tiny_db):
+        """The bounded-device model must survive the process boundary:
+        worker disks rebuilt from the spec carry the parent disks'
+        command depth, not an unbounded default."""
+        from repro.shard import build_shard_engine
+
+        sharded = ShardedGATIndex.build(
+            tiny_db,
+            n_shards=2,
+            config=CONFIG,
+            disk_factory=lambda: SimulatedDisk(
+                read_latency_s=0.001, concurrent_reads=1
+            ),
+        )
+        service = ShardedQueryService(sharded, executor="process")
+        try:
+            spec = service._make_spec()
+            assert spec.concurrent_reads == 1
+            assert spec.read_latency_s == 0.001
+            worker_engine = build_shard_engine(spec, 0)
+            assert worker_engine.index.disk.concurrent_reads == 1
+            assert worker_engine.index.disk.read_latency_s == 0.001
+        finally:
+            service.close()
+
+
+class TestResyncOrdering:
+    def test_banks_resync_before_version_publish(self, tiny_db):
+        """Regression: the replica banks must be rebuilt *before* the
+        base class publishes the fresh _index_version — otherwise a
+        concurrent search could observe the new version, skip the
+        resync, and lease a stale (pre-insert) replica engine."""
+        db = copy.deepcopy(tiny_db)
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        query = _queries(db, n=1)[0]
+        with ReplicatedShardedService(
+            sharded,
+            executor="serial",
+            n_replicas=2,
+            replica_router="round-robin",
+            result_cache_size=0,
+        ) as service:
+            service.search(query, k=2)
+            old_version = service._index_version
+            observed = []
+            original = service._resync_banks
+
+            def spying_resync():
+                observed.append(service._index_version)
+                original()
+
+            service._resync_banks = spying_resync
+            tid = max(tr.trajectory_id for tr in db) + 1
+            sharded.insert_trajectory(
+                ActivityTrajectory(
+                    tid,
+                    [
+                        TrajectoryPoint(p.x, p.y, frozenset(p.activities))
+                        for p in query
+                    ],
+                )
+            )
+            service.search(query, k=2)
+            # The resync ran, and it ran while the service still showed
+            # the pre-insert version (publish comes after).
+            assert observed == [old_version]
+            assert service._index_version == sharded.version
+            assert service._banks_version == sharded.version
+
+
+class TestResyncStatsBaselines:
+    def test_cache_hit_rates_stay_valid_across_resync(self, tiny_db):
+        """Regression: rebuilding the replica banks discards their cache
+        counters, so the stats baselines must shed them too.  Pre-fix,
+        stats() diffed a shrunken "now" against a baseline still holding
+        the vanished counters, yielding hit-rate deltas that were
+        negative (clamped to a bogus 0.0) or above 1.0 depending on the
+        traffic mix; with heavy pre-reset warm traffic the post-resync
+        warm rates collapsed to exactly 0.0."""
+        db = copy.deepcopy(tiny_db)
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        queries = _queries(db)
+        with ReplicatedShardedService(
+            sharded,
+            executor="serial",
+            n_replicas=2,
+            replica_router="round-robin",
+            result_cache_size=0,
+        ) as service:
+            # Heavy warm traffic so the replica caches accumulate big
+            # counters *before* the baselines are snapshotted by reset.
+            for _ in range(6):
+                service.search_many(queries, k=3)
+            service.reset_stats()
+            service.search_many(queries[:2], k=3)  # warm: high real hit rate
+            tid = max(tr.trajectory_id for tr in db) + 1
+            query = queries[0]
+            sharded.insert_trajectory(
+                ActivityTrajectory(
+                    tid,
+                    [
+                        TrajectoryPoint(p.x, p.y, frozenset(p.activities))
+                        for p in query
+                    ],
+                )
+            )
+            service.search_many(queries[:2], k=3)  # triggers the bank resync
+            stats = service.stats()
+            # The warm traffic really hit the caches: the rates must be
+            # positive and within [0, 1] — never the clamped 0.0 (or the
+            # >1.0 overshoot) the stale baselines produced.
+            assert 0.0 < stats.hicl_cache_hit_rate <= 1.0
+            assert 0.0 < stats.apl_cache_hit_rate <= 1.0
+
+
+class TestOverflowInsertAcrossBanks:
+    def test_every_bank_serves_fresh_after_overflow_rebuild(self, tiny_db):
+        """Regression: an overflow insert replaces the owning shard's
+        GATIndex object.  Bank 0 aliases the base service's engine list,
+        which must be rebound in place — otherwise round-robin would
+        alternate fresh (replica) and stale (primary) rankings for the
+        same query."""
+        from repro.core.query import Query, QueryPoint
+
+        db = copy.deepcopy(tiny_db)
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        box = db.bounding_box
+        anchor = next(p for tr in db for p in tr if p.activities)
+        tid = max(tr.trajectory_id for tr in db) + 1
+        trajectory = ActivityTrajectory(
+            tid,
+            [
+                TrajectoryPoint(
+                    box.max_x + 2.0, box.max_y + 2.0, frozenset(anchor.activities)
+                )
+            ],
+        )
+        query = Query(
+            [
+                QueryPoint(
+                    trajectory[0].x,
+                    trajectory[0].y,
+                    frozenset(list(trajectory[0].activities)[:1]),
+                )
+            ]
+        )
+        with ReplicatedShardedService(
+            sharded,
+            executor="serial",
+            n_replicas=2,
+            replica_router="round-robin",
+            result_cache_size=0,
+        ) as service:
+            service.search(query, k=1)
+            sharded.insert_trajectory(trajectory)
+            # Four searches: round-robin provably cycles both banks twice
+            # for the owning shard; every answer must be the newcomer.
+            for _ in range(4):
+                response = service.search(query, k=1)
+                assert response.results[0].trajectory_id == tid
+                assert response.results[0].distance == 0.0
+            owner = sharded.shard_of(tid)
+            assert service._banks[0][owner].index is sharded.shards[owner]

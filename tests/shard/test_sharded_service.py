@@ -185,3 +185,238 @@ class TestLifecycle:
         sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
         with pytest.raises(ValueError):
             ShardedQueryService(sharded, executor="fiber")
+
+
+class TestUseAfterClose:
+    """Regression: the lazily created pools must not be silently
+    resurrected by a search() on a closed service — pre-fix, run() after
+    close() leaked a brand-new pool that nothing ever shut down."""
+
+    def test_thread_backend_raises(self, db):
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        service = ShardedQueryService(
+            sharded, executor="thread", result_cache_size=0
+        )
+        service.search(_query_for(db), k=2)
+        service.close()
+        with pytest.raises(RuntimeError, match="after close"):
+            service.search(_query_for(db), k=2)
+
+    def test_process_backend_raises(self, db):
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        # Never spawns workers: close() precedes the first search, and the
+        # use-after-close check fires before pool creation.
+        service = ShardedQueryService(
+            sharded, executor="process", result_cache_size=0
+        )
+        service.close()
+        with pytest.raises(RuntimeError, match="after close"):
+            service.search(_query_for(db), k=2)
+
+    def test_executor_close_stays_idempotent(self, db):
+        from repro.shard import ThreadShardExecutor
+
+        executor = ThreadShardExecutor(lambda task: task, max_workers=2)
+        executor.close()
+        executor.close()
+        with pytest.raises(RuntimeError, match="after close"):
+            executor.run([None])
+
+
+class TestSharedStateHammer:
+    def test_concurrent_batches_race_shared_topk_registry(self, db):
+        """Hammer the _shared group registry: many client threads register
+        and pop groups while pool workers look their tasks' groups up.
+        The lookup now locks (an unlocked dict read races the writers'
+        rehash); rankings must stay byte-identical to a serial run."""
+        import threading as _threading
+
+        sharded = ShardedGATIndex.build(db, n_shards=3, config=CONFIG)
+        queries = [_query_for(db, seed=s) for s in range(6)]
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as serial:
+            expected = [
+                [(r.trajectory_id, r.distance) for r in resp.results]
+                for resp in serial.search_many(queries, k=3)
+            ]
+        with ShardedQueryService(
+            sharded, executor="thread", result_cache_size=0, max_workers=8
+        ) as service:
+            failures = []
+
+            def client():
+                try:
+                    for _ in range(3):
+                        responses = service.search_many(queries, k=3)
+                        got = [
+                            [(r.trajectory_id, r.distance) for r in resp.results]
+                            for resp in responses
+                        ]
+                        if got != expected:
+                            failures.append(got)
+                except Exception as exc:  # pragma: no cover - failure path
+                    failures.append(exc)
+
+            threads = [_threading.Thread(target=client) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not failures
+
+
+class TestProcessSlotLifecycle:
+    def test_run_failure_releases_every_leased_slot(self, db, monkeypatch):
+        """An exception inside executor.run() must travel through
+        _run_many's finally and return every leased threshold slot —
+        otherwise a crashing batch permanently shrinks the pruning-slot
+        pool."""
+        from repro.shard import ProcessShardExecutor
+
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        service = ShardedQueryService(
+            sharded, executor="process", result_cache_size=0
+        )
+        executor = service._executor
+        assert isinstance(executor, ProcessShardExecutor)
+        leased_during_run = []
+
+        def boom(tasks):
+            leased_during_run.append(
+                executor.N_SLOTS - len(executor._free_slots)
+            )
+            raise RuntimeError("worker pool exploded")
+
+        monkeypatch.setattr(executor, "run", boom)
+        queries = [_query_for(db, seed=s) for s in (1, 2, 3)]
+        with pytest.raises(RuntimeError, match="exploded"):
+            service.search_many(queries, k=3)
+        # One slot per pending query was genuinely leased inside run()...
+        assert leased_during_run == [3]
+        # ...and every one of them came back despite the exception.
+        assert sorted(executor._free_slots) == list(range(executor.N_SLOTS))
+        service.close()
+
+    def test_slot_pool_exhaustion_returns_none(self, db):
+        from repro.shard import ProcessShardExecutor
+
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        service = ShardedQueryService(sharded, executor="process")
+        executor = service._executor
+        slots = [executor.acquire_slot() for _ in range(executor.N_SLOTS)]
+        assert None not in slots
+        assert executor.acquire_slot() is None  # exhausted, not an error
+        for slot in slots:
+            executor.release_slot(slot)
+        assert len(executor._free_slots) == executor.N_SLOTS
+        service.close()
+
+
+class TestShardedBatchedExplain:
+    def test_search_many_forwards_explain(self, db):
+        """Regression: the sharded search_many dropped ``explain`` too."""
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        queries = [_query_for(db, seed=s) for s in (1, 2, 3)]
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as service:
+            batched = service.search_many(queries, k=3, explain=True)
+            assert all(resp.request.explain for resp in batched)
+            for query, response in zip(queries, batched):
+                single = service.search(query, k=3, explain=True)
+                assert [
+                    (r.trajectory_id, r.distance, r.matches)
+                    for r in response.results
+                ] == [
+                    (r.trajectory_id, r.distance, r.matches)
+                    for r in single.results
+                ]
+                assert all(r.matches is not None for r in response.results)
+
+
+class TestOverflowInsertEngineRefresh:
+    @staticmethod
+    def _outside_trajectory(db, sharded):
+        """A fresh trajectory just past the global corner — outside every
+        shard's (local) grid box, so inserting it forces the owning
+        shard's overflow rebuild, which *replaces* the GATIndex object."""
+        box = db.bounding_box
+        anchor = next(p for tr in db for p in tr if p.activities)
+        tid = max(tr.trajectory_id for tr in db) + 1
+        point = TrajectoryPoint(
+            box.max_x + 2.0, box.max_y + 2.0, frozenset(anchor.activities)
+        )
+        return ActivityTrajectory(tid, [point])
+
+    def test_engines_rebound_after_overflow_rebuild(self, db):
+        """Regression: an overflow insert swaps a rebuilt GATIndex into
+        index.shards[sid]; the service's per-shard engine (built at
+        construction) must be rebound to it, or searches keep hitting
+        the orphaned pre-insert snapshot and never see the newcomer."""
+        from repro.core.query import Query, QueryPoint
+
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as service:
+            trajectory = self._outside_trajectory(db, sharded)
+            query = Query(
+                [
+                    QueryPoint(
+                        trajectory[0].x,
+                        trajectory[0].y,
+                        frozenset(list(trajectory[0].activities)[:1]),
+                    )
+                ]
+            )
+            service.search(query, k=1)  # engines warm on the old indexes
+            owner = sharded.shard_of(trajectory.trajectory_id)
+            old_engine = service.engines[owner]
+
+            sharded.insert_trajectory(trajectory)  # overflow rebuild
+
+            response = service.search(query, k=1)
+            assert response.results[0].trajectory_id == trajectory.trajectory_id
+            assert response.results[0].distance == 0.0
+            assert service.engines[owner] is not old_engine
+            assert service.engines[owner].index is sharded.shards[owner]
+
+    def test_cache_hit_rates_stay_valid_after_engine_refresh(self, db):
+        """Regression: the discarded engine's APL counters (and the
+        orphaned index's HICL counters) must leave the stats baselines
+        when an overflow insert rebinds a shard's engine — otherwise the
+        delta hit rates go negative or clamp to a bogus 0.0."""
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        queries = [_query_for(db, seed=s) for s in (1, 2, 3)]
+        with ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        ) as service:
+            # Warm the caches so they hold counters at baseline time...
+            for _ in range(4):
+                service.search_many(queries, k=3)
+            service.reset_stats()
+            # ...and keep serving warm traffic after the reset.
+            service.search_many(queries, k=3)
+            trajectory = self._outside_trajectory(db, sharded)
+            sharded.insert_trajectory(trajectory)  # rebinds owner's engine
+            service.search_many(queries, k=3)
+            stats = service.stats()
+            assert 0.0 < stats.apl_cache_hit_rate <= 1.0
+            assert 0.0 < stats.hicl_cache_hit_rate <= 1.0
+
+
+class TestSerialUseAfterClose:
+    def test_serial_backend_raises(self, db):
+        """The serial backend honours the same invariant as the pooled
+        ones: a closed service's engines have shut their auxiliary
+        pools, so serving on must fail loudly, not resurrect them."""
+        sharded = ShardedGATIndex.build(db, n_shards=2, config=CONFIG)
+        service = ShardedQueryService(
+            sharded, executor="serial", result_cache_size=0
+        )
+        service.search(_query_for(db), k=2)
+        service.close()
+        service.close()  # still idempotent
+        with pytest.raises(RuntimeError, match="after close"):
+            service.search(_query_for(db), k=2)

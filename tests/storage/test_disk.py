@@ -177,3 +177,75 @@ class TestPerContextTracking:
             assert tracker.reads == i + 1
         # The global counters saw everything exactly once.
         assert disk.stats.reads == sum(i + 1 for i in range(8))
+
+
+class TestConcurrentReadsGate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(concurrent_reads=0)
+        assert SimulatedDisk().concurrent_reads is None
+        assert SimulatedDisk(concurrent_reads=3).concurrent_reads == 3
+
+    def test_single_arm_serializes_concurrent_reads(self):
+        """concurrent_reads=1 models one disk arm: two threads reading at
+        once must queue, so total wall >= 2 x latency; the default
+        (unbounded) disk overlaps the same two sleeps."""
+        import threading
+        import time as _time
+
+        def timed_pair(disk):
+            disk.put("x", [1, 2, 3])
+            disk.put("y", [4, 5, 6])
+            barrier = threading.Barrier(2)
+
+            def reader(key):
+                barrier.wait()
+                disk.get(key)
+
+            threads = [
+                threading.Thread(target=reader, args=(k,)) for k in ("x", "y")
+            ]
+            t0 = _time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return _time.perf_counter() - t0
+
+        latency = 0.08
+        # The serialized lower bound is sleep-guaranteed and never flaky;
+        # the overlap comparison is wall-clock and scheduling-sensitive,
+        # so demand a real margin (half a sleep) but allow a couple of
+        # retries for a CI runner that stalls a thread mid-measurement.
+        for attempt in range(3):
+            serialized = timed_pair(
+                SimulatedDisk(read_latency_s=latency, concurrent_reads=1)
+            )
+            overlapped = timed_pair(SimulatedDisk(read_latency_s=latency))
+            assert serialized >= 2 * latency * 0.95
+            if overlapped < serialized - latency / 2:
+                break
+        else:
+            raise AssertionError(
+                f"unbounded disk never overlapped: {overlapped:.3f}s vs "
+                f"serialized {serialized:.3f}s"
+            )
+
+    def test_gate_leaves_accounting_untouched(self):
+        disk = SimulatedDisk(concurrent_reads=1)
+        disk.put("k", list(range(50)))
+        with disk.track() as tracker:
+            disk.get("k")
+            disk.get_many(["k", "k"])
+        assert tracker.reads == 3
+        assert disk.stats.reads == 3
+
+    def test_get_many_pays_batch_latency_through_gate(self):
+        import time as _time
+
+        disk = SimulatedDisk(read_latency_s=0.02, concurrent_reads=1)
+        disk.put("a", 1)
+        disk.put("b", 2)
+        t0 = _time.perf_counter()
+        assert disk.get_many(["a", "b"]) == [1, 2]
+        assert _time.perf_counter() - t0 >= 0.04 * 0.95

@@ -132,3 +132,63 @@ class TestSweep:
     def test_bad_figure_rejected(self, dataset_path):
         with pytest.raises(SystemExit):
             main(["sweep", str(dataset_path), "--figure", "nope"])
+
+
+class TestQueryReplicated:
+    def test_single_query_on_replicated_stack(self, dataset_path, capsys):
+        code = main(
+            [
+                "query", str(dataset_path),
+                "--k", "3",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+                "--shards", "2",
+                "--replicas", "2",
+                "--replica-router", "least-in-flight",
+                "--executor", "serial",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 shards/serial×2 replicas (least-in-flight)" in out
+        assert "work:" in out
+
+    def test_batch_on_replicated_stack(self, dataset_path, capsys):
+        code = main(
+            [
+                "query", str(dataset_path),
+                "--k", "3",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+                "--batch", "4",
+                "--shards", "2",
+                "--replicas", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch of 4 queries" in out
+        assert "2 replicas (round-robin)" in out
+
+    def test_replicas_promote_single_shard_onto_sharded_stack(
+        self, dataset_path, capsys
+    ):
+        code = main(
+            [
+                "query", str(dataset_path),
+                "--k", "2",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+                "--shards", "1",
+                "--replicas", "2",
+                "--executor", "serial",
+            ]
+        )
+        assert code == 0
+        assert "1 shards/serial×2 replicas" in capsys.readouterr().out
+
+    def test_bad_replicas_rejected(self, dataset_path):
+        assert main(["query", str(dataset_path), "--replicas", "0"]) == 2
