@@ -73,6 +73,14 @@ are compared exactly, distances to 1e-9 relative).
 
 NumPy is optional: ``kernel='auto'`` silently degrades to the scalar path
 when it is missing, ``kernel='vectorized'`` raises loudly.
+
+Every coordinate access below goes through ``trajectory.coord_array()``:
+for array-backed trajectories (:meth:`ActivityTrajectory.from_arrays`,
+the shared-memory store of :mod:`repro.storage.shm`) that is a zero-copy
+view into the columnar store, so the block and vectorized kernels read
+the mapped segment directly — no point objects, no per-trajectory
+coordinate copies — and a process worker scores against the same bytes
+the parent packed.
 """
 
 from __future__ import annotations

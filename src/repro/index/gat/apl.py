@@ -34,6 +34,10 @@ class APLStore:
 
     @classmethod
     def build(cls, db: TrajectoryDatabase, disk: SimulatedDisk) -> "APLStore":
+        # ``posting_lists`` comes straight from the columnar activity
+        # columns for array-backed trajectories (no point objects are
+        # materialised), and its pickled record size — what the simulated
+        # disk's page accounting sees — is identical either way.
         store = cls(disk)
         for trajectory in db:
             store.disk.put(("apl", trajectory.trajectory_id), trajectory.posting_lists)

@@ -21,12 +21,17 @@ they run is the deployment's choice:
 Process-pool consistency: worker processes hold *snapshots* of the index.
 They cannot observe :meth:`ShardedGATIndex.insert_trajectory`, so the
 sharded service watches the composite index version and calls
-:meth:`ProcessShardExecutor.refresh` with a fresh spec after any mutation
-— the pool is torn down and re-initialised before the next query runs.
+:meth:`ProcessShardExecutor.refresh` with a fresh spec after any mutation.
+Refreshes are **coalesced**: the executor only records the newest spec,
+and the next query to run tears down and re-initialises the pool at most
+once — a burst of inserts costs one re-init, and a refresh whose spec
+compares equal to the live pool's costs nothing.
 
 Everything shipped across the process boundary (tasks, specs, ranked
 results, stats) is plain picklable data; engines, disks, and locks never
-cross.
+cross.  Under a shared trajectory store (:mod:`repro.storage.shm`) the
+spec carries only segment names, offsets, and shard-membership IDs —
+workers attach to the one copy of the dataset instead of unpickling it.
 """
 
 from __future__ import annotations
@@ -109,12 +114,28 @@ ShardRunner = Callable[[ShardTask], ShardResult]
 class ShardEngineSpec:
     """Everything a worker process needs to rebuild any shard's engine.
 
-    Carries data, never live objects: per-shard trajectory tuples, the
-    shared vocabulary, each shard grid's bounding box and build config
-    (per-shard since the shard-local-grid build depth-adapts each grid to
-    its own box — all equal under ``shard_box='global'``), and the engine
-    config.  The metric rides along too (the stock metrics are stateless
-    ``__slots__ = ()`` classes, so they pickle for free)."""
+    Carries data, never live objects: the shared vocabulary, each shard
+    grid's bounding box and build config (per-shard since the
+    shard-local-grid build depth-adapts each grid to its own box — all
+    equal under ``shard_box='global'``), and the engine config.  The
+    metric rides along too (the stock metrics are stateless
+    ``__slots__ = ()`` classes, so they pickle for free).
+
+    The trajectory set travels one of two ways:
+
+    * **object snapshot** — ``shard_trajectories`` holds per-shard tuples
+      of :class:`ActivityTrajectory`; the whole dataset is pickled into
+      every worker (the historical path, kept as the oracle);
+    * **shared store** — ``store_spec`` names the shared-memory segments
+      of a :class:`~repro.storage.shm.SharedTrajectoryStore` and
+      ``shard_trajectory_ids`` lists each shard's membership by ID;
+      workers *attach* to the one copy of the dataset and pickle only
+      names, offsets, and ID tuples.
+
+    Specs compare by value (trajectory tuples by element identity, store
+    specs and ID tuples structurally), which is what
+    :meth:`ProcessShardExecutor.refresh` coalesces on: an unchanged fleet
+    produces an equal spec and no pool re-init."""
 
     db_name: str
     vocabulary: object
@@ -129,21 +150,41 @@ class ShardEngineSpec:
     #: in-process engines (``concurrent_reads=None`` = unbounded).
     read_latency_s: float = 0.0
     concurrent_reads: Optional[int] = None
+    #: Shared-store attach recipe (:class:`~repro.storage.shm.SharedStoreSpec`)
+    #: plus per-shard membership ID tuples; ``None`` = object snapshot.
+    store_spec: Optional[object] = None
+    shard_trajectory_ids: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     @property
     def n_shards(self) -> int:
+        if self.store_spec is not None:
+            return len(self.shard_trajectory_ids)
         return len(self.shard_trajectories)
+
+
+def _shard_database(spec: ShardEngineSpec, shard_id: int) -> TrajectoryDatabase:
+    """Materialise one shard's database from a spec — attached zero-copy
+    views under a shared store, unpickled objects otherwise."""
+    name = f"{spec.db_name}/shard{shard_id}"
+    if spec.store_spec is not None:
+        from repro.storage import shm
+
+        full = shm.attach_database(spec.store_spec, spec.vocabulary, name=spec.db_name)
+        return TrajectoryDatabase.from_trajectories(
+            [full.get(tid) for tid in spec.shard_trajectory_ids[shard_id]],
+            spec.vocabulary,
+            name=name,
+        )
+    return TrajectoryDatabase.from_trajectories(
+        spec.shard_trajectories[shard_id], spec.vocabulary, name=name
+    )
 
 
 def build_shard_engine(spec: ShardEngineSpec, shard_id: int) -> GATSearchEngine:
     """Rebuild one shard's database, GAT index, and engine from a spec."""
     from repro.storage.disk import SimulatedDisk
 
-    shard_db = TrajectoryDatabase.from_trajectories(
-        spec.shard_trajectories[shard_id],
-        spec.vocabulary,
-        name=f"{spec.db_name}/shard{shard_id}",
-    )
+    shard_db = _shard_database(spec, shard_id)
     index = GATIndex.build(
         shard_db,
         spec.gat_configs[shard_id],
@@ -360,6 +401,13 @@ class ProcessShardExecutor:
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self._spec = spec
+        #: The spec the live pool was initialised from (``None`` before the
+        #: first pool) — :meth:`_shared_pool` compares it against the
+        #: latest :meth:`refresh` spec to decide whether a re-init is due.
+        self._live_spec: Optional[ShardEngineSpec] = None
+        #: Worker-pool initialisations so far — the refresh-coalescing
+        #: regression tests count this under insert bursts.
+        self.pool_inits = 0
         self._mp_context = mp_context
         self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -391,32 +439,51 @@ class ProcessShardExecutor:
     def _shared_pool(self) -> ProcessPoolExecutor:
         # Locked like the thread backend — a raced double-create here
         # would leak a whole pool of worker processes.
-        with self._lock:
-            if self._closed:
-                # Use-after-close would silently spawn a whole fresh pool
-                # of worker processes that nothing ever shuts down.
-                raise RuntimeError("ProcessShardExecutor used after close()")
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.max_workers,
-                    mp_context=self._mp_context,
-                    initializer=_worker_init,
-                    initargs=(self._spec, self._slots),
-                )
-            return self._pool
+        while True:
+            stale: Optional[ProcessPoolExecutor] = None
+            with self._lock:
+                if self._closed:
+                    # Use-after-close would silently spawn a whole fresh
+                    # pool of worker processes that nothing ever shuts down.
+                    raise RuntimeError("ProcessShardExecutor used after close()")
+                if (
+                    self._pool is not None
+                    and self._live_spec is not self._spec
+                    and self._live_spec != self._spec
+                ):
+                    # A refresh landed since this pool was initialised:
+                    # retire it and fall through to re-create below.
+                    stale, self._pool = self._pool, None
+                if stale is None:
+                    if self._pool is None:
+                        self._pool = ProcessPoolExecutor(
+                            max_workers=self.max_workers,
+                            mp_context=self._mp_context,
+                            initializer=_worker_init,
+                            initargs=(self._spec, self._slots),
+                        )
+                        self._live_spec = self._spec
+                        self.pool_inits += 1
+                    return self._pool
+            # Shut the stale pool down outside the lock (it waits for
+            # in-flight tasks) and retry; inserts quiesce the service, so
+            # nothing races the snapshot swap itself.
+            stale.shutdown(wait=True)
 
     def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
         return list(self._shared_pool().map(_worker_search, tasks))
 
     def refresh(self, spec: ShardEngineSpec) -> None:
-        """Replace the worker snapshot after an index mutation: tear the
-        pool down and let the next query re-initialise workers from the
-        new spec.  Idempotent when no pool has been created yet."""
+        """Adopt a new worker snapshot after an index mutation —
+        **coalesced**: the spec is only recorded here, and the live pool
+        is torn down and re-initialised at most once, by the next query
+        that actually runs.  A burst of inserts therefore costs one pool
+        re-init instead of one per composite-version bump, and a refresh
+        whose spec equals the live pool's (nothing really changed — e.g.
+        an overflow rebuild that re-derived identical state) costs
+        nothing at all."""
         with self._lock:
-            pool, self._pool = self._pool, None
             self._spec = spec
-        if pool is not None:
-            pool.shutdown(wait=True)
 
     def close(self) -> None:
         with self._lock:

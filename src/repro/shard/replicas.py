@@ -47,6 +47,14 @@ primary :class:`~repro.shard.index.ShardedGATIndex` (quiesce the service,
 as always), moves the composite version, and the next query's version
 check rebuilds the replica banks from the mutated shards — the same
 snapshot-refresh contract the process backend already follows.
+
+Memory: a replica copies index structures, caches, and its simulated
+disk — never the trajectories.  Replicas share the primary shard's
+``shard.db``; under ``ShardedGATIndex.build(..., store='shared')`` those
+trajectories are themselves zero-copy views into one shared-memory
+columnar store, so ``n_replicas × n_shards`` engines read a single copy
+of the point data (and process-backend replica workers attach to the
+same segments instead of each unpickling a fleet).
 """
 
 from __future__ import annotations

@@ -1,0 +1,311 @@
+"""Shared-memory trajectory store: attach, don't rebuild.
+
+The process fan-out backend's original sin was shipping the whole fleet
+through pickles: every worker re-inflated millions of point objects from
+the ``ShardEngineSpec`` before serving its first task, and every insert
+re-shipped the world.  This module keeps exactly one copy of the
+trajectory set in a ``multiprocessing.shared_memory`` segment — the
+columnar image of :mod:`repro.model.columnar` packed end to end — and
+lets any process map it by name:
+
+* the **writer** (:class:`SharedTrajectoryStore`) packs the base dataset
+  once at build time and owns the segment's lifetime (:meth:`close`
+  unlinks it);
+* **readers** attach via the picklable :class:`SharedStoreSpec` — segment
+  names plus per-array offsets/dtypes/shapes — and view the columns
+  zero-copy (:func:`attach_database`), a few milliseconds instead of an
+  engine-spec unpickle;
+* **inserts** accumulate in a small append-only *delta*: the writer's
+  :meth:`~SharedTrajectoryStore.sync` publishes the trajectories added
+  since build as one fresh cumulative delta segment (and unlinks the
+  previous one), so a refresh ships only the delta's names and offsets,
+  never the base.
+
+Segments are immutable once published — readers never observe a write —
+and POSIX unlink semantics keep an attached mapping valid until the
+reader drops it, so an in-flight worker can finish on the old delta
+while the parent publishes the next.
+
+Lifecycle accounting: every writer-owned segment is registered in a
+module-level table; :func:`active_segments` lists the ones not yet
+unlinked, which the test suite asserts empty after the shard/replica
+suites (no leaked shared memory).  On Python < 3.13
+``SharedMemory(name=...)`` registers *attached* segments with
+``multiprocessing.resource_tracker`` as if the attacher created them —
+under spawn the reader's tracker then unlinks live segments at exit and
+warns about "leaks", under fork the shared tracker ends up with a
+registration the writer's unlink doesn't own.  :func:`_attach_segment`
+therefore suppresses the tracker ``register`` call for the duration of
+the attach (serialised with segment creation through one module lock),
+so exactly one registration — the writer's — ever exists per segment,
+and the writer's ``close()`` (or its ``weakref.finalize`` backstop)
+retires it exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.model.columnar import ColumnarArrays, trajectories_to_arrays
+from repro.model.database import TrajectoryDatabase
+
+#: Byte alignment of every array inside a segment (>= any column itemsize).
+_ALIGN = 16
+
+#: Serialises segment creation (which must reach the resource tracker)
+#: with attaches (whose tracker registration is suppressed — see the
+#: module docstring), so suppression can never swallow a writer's
+#: registration.
+_TRACKER_LOCK = threading.Lock()
+
+#: Writer-owned segments not yet unlinked, name -> human-readable role.
+_LIVE_SEGMENTS: Dict[str, str] = {}
+
+#: Reader-side cache of attached segments (kept referenced so the views
+#: handed out stay valid for the process lifetime).
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+#: Reader-side cache of fully attached databases, keyed by the segment
+#: names they were built from — one worker serving several shards of the
+#: same fleet attaches the dataset once, not once per shard.
+_DB_CACHE: Dict[Tuple[str, Optional[str], str], TrajectoryDatabase] = {}
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One shared-memory segment's name plus its array directory:
+    ``(field, byte offset, dtype, shape)`` per column, in
+    :meth:`ColumnarArrays.field_arrays` order.  Pure data — picklable,
+    value-comparable (executor refresh coalescing relies on ``==``)."""
+
+    name: str
+    layout: Tuple[Tuple[str, int, str, Tuple[int, ...]], ...]
+    size: int
+
+
+@dataclass(frozen=True)
+class SharedStoreSpec:
+    """Everything a reader needs to attach: the base segment and the
+    optional cumulative-delta segment (trajectories added since build)."""
+
+    base: SegmentSpec
+    delta: Optional[SegmentSpec] = None
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _pack(arrays: ColumnarArrays, role: str):
+    """Copy a columnar image into one fresh segment; returns the live
+    ``SharedMemory`` (writer keeps it) and its :class:`SegmentSpec`."""
+    layout: List[Tuple[str, int, str, Tuple[int, ...]]] = []
+    offset = 0
+    for name, arr in arrays.field_arrays():
+        offset = _aligned(offset)
+        layout.append((name, offset, arr.dtype.str, tuple(arr.shape)))
+        offset += arr.nbytes
+    size = max(1, offset)
+    with _TRACKER_LOCK:
+        shm = shared_memory.SharedMemory(create=True, size=size)
+    for (name, off, dtype, shape), (_n, arr) in zip(layout, arrays.field_arrays()):
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        view[...] = arr
+    _LIVE_SEGMENTS[shm.name] = role
+    return shm, SegmentSpec(name=shm.name, layout=tuple(layout), size=size)
+
+
+def _views(shm: shared_memory.SharedMemory, spec: SegmentSpec) -> ColumnarArrays:
+    """Zero-copy :class:`ColumnarArrays` over a mapped segment."""
+    columns = {
+        name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        for name, off, dtype, shape in spec.layout
+    }
+    return ColumnarArrays(**columns)
+
+
+def _unlink_quietly(shm: Optional[shared_memory.SharedMemory]) -> None:
+    if shm is None:
+        return
+    _LIVE_SEGMENTS.pop(shm.name, None)
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # already gone (double close / races at exit)
+        pass
+
+
+def active_segments() -> List[str]:
+    """Names of writer-owned segments not yet unlinked — the leak probe
+    the test suite asserts empty after the shard/replica suites."""
+    return sorted(_LIVE_SEGMENTS)
+
+
+class SharedTrajectoryStore:
+    """Writer side: one trajectory set in shared memory, plus its delta.
+
+    Build with :meth:`for_database`; hand :meth:`spec` (or the result of
+    :meth:`sync`) to readers; call :meth:`close` exactly once when the
+    owning index is done — idempotent, and a GC backstop unlinks the
+    segments if the owner forgot.
+    """
+
+    def __init__(self, db: TrajectoryDatabase) -> None:
+        arrays = db.to_arrays()
+        self._base_shm, self._base_spec = _pack(arrays, f"base:{db.name}")
+        self._delta_shm: Optional[shared_memory.SharedMemory] = None
+        self._delta_spec: Optional[SegmentSpec] = None
+        self.n_base = len(db)
+        self._n_published = len(db)
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _unlink_quietly, self._base_shm
+        )
+
+    @classmethod
+    def for_database(cls, db: TrajectoryDatabase) -> "SharedTrajectoryStore":
+        return cls(db)
+
+    # ------------------------------------------------------------------
+    # Writer-side views / specs
+    # ------------------------------------------------------------------
+    def base_arrays(self) -> ColumnarArrays:
+        """Zero-copy columns over the base segment (the writer's own view
+        — the parent's array-backed database reads the same bytes the
+        workers map)."""
+        self._check_open()
+        return _views(self._base_shm, self._base_spec)
+
+    def spec(self) -> SharedStoreSpec:
+        """The current picklable attach recipe (base + published delta)."""
+        self._check_open()
+        return SharedStoreSpec(base=self._base_spec, delta=self._delta_spec)
+
+    def sync(self, db: TrajectoryDatabase) -> SharedStoreSpec:
+        """Publish any trajectories *db* gained since the last publish and
+        return the refreshed spec.
+
+        The delta is **cumulative** (everything past the base), packed
+        into a fresh segment; the superseded delta segment is unlinked —
+        readers that already mapped it keep a valid mapping until they
+        re-attach.  When nothing changed this is pure read, the spec
+        compares equal to the previous one, and the executor's refresh
+        coalescing skips the pool re-init entirely.
+        """
+        self._check_open()
+        if len(db) < self.n_base:
+            raise ValueError(
+                f"database shrank below the shared base "
+                f"({len(db)} < {self.n_base}); rebuild the store"
+            )
+        if len(db) == self._n_published:
+            return self.spec()
+        delta = trajectories_to_arrays(db.trajectories[self.n_base :])
+        old = self._delta_shm
+        self._delta_shm, self._delta_spec = _pack(
+            delta, f"delta:{db.name}"
+        )
+        _unlink_quietly(old)
+        self._n_published = len(db)
+        return self.spec()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("SharedTrajectoryStore used after close()")
+
+    def close(self) -> None:
+        """Unlink every segment this writer owns (idempotent).  Views
+        handed out earlier — the parent's array-backed database included
+        — become invalid; close the store only after its index fleet and
+        services are done."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _unlink_quietly(self._base_shm)
+        _unlink_quietly(self._delta_shm)
+
+    def __enter__(self) -> "SharedTrajectoryStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"SharedTrajectoryStore({self._base_spec.name}, "
+            f"n_base={self.n_base}, published={self._n_published}, {state})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Reader side
+# ----------------------------------------------------------------------
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHED.get(name)
+    if shm is not None:
+        return shm
+    # Python < 3.13 registers *attached* segments with the resource
+    # tracker as if this process created them — at exit the tracker would
+    # unlink segments the writer still owns (spawn) or hold registrations
+    # the writer's unlink doesn't retire (fork).  Ownership stays with the
+    # writer: suppress the register call for the duration of the attach.
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_LOCK:
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            raise RuntimeError(
+                f"shared trajectory store segment {name!r} is gone — the "
+                "writer closed it or exited; refresh the spec from a live store"
+            ) from None
+        finally:
+            resource_tracker.register = original_register
+    _ATTACHED[name] = shm
+    return shm
+
+
+def attach_arrays(spec: SegmentSpec) -> ColumnarArrays:
+    """Map one segment and return zero-copy columns over it.  The mapping
+    is cached for the process lifetime so the views stay valid."""
+    return _views(_attach_segment(spec.name), spec)
+
+
+def attach_database(
+    spec: SharedStoreSpec, vocabulary, name: str = "dataset"
+) -> TrajectoryDatabase:
+    """Attach the full trajectory set behind *spec* as an array-backed
+    :class:`TrajectoryDatabase` (base columns viewed zero-copy, delta
+    trajectories appended on top).  Cached per ``(base, delta, name)``:
+    one worker process attaches a fleet's dataset exactly once, however
+    many shards it ends up serving.
+    """
+    key = (spec.base.name, spec.delta.name if spec.delta else None, name)
+    db = _DB_CACHE.get(key)
+    if db is not None:
+        return db
+    db = TrajectoryDatabase.from_arrays(attach_arrays(spec.base), vocabulary, name=name)
+    if spec.delta is not None:
+        from repro.model.columnar import arrays_to_trajectories
+
+        for trajectory in arrays_to_trajectories(attach_arrays(spec.delta)):
+            db.add(trajectory)
+    _DB_CACHE[key] = db
+    return db

@@ -1,0 +1,24 @@
+"""Shard-suite fixtures: shared-memory leak detection.
+
+Every test in this directory runs under an autouse probe that fails the
+test if it finishes with writer-owned shared-memory segments still
+linked.  Forgetting ``ShardedGATIndex.close()`` (or leaking a
+``SharedTrajectoryStore``) is exactly the kind of bug that passes
+locally and accumulates /dev/shm garbage on CI runners — the probe makes
+it a test failure at the offending test, not a mystery later.
+"""
+
+import pytest
+
+from repro.storage import shm
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shared_memory():
+    before = shm.active_segments()
+    yield
+    leaked = [name for name in shm.active_segments() if name not in before]
+    assert not leaked, (
+        f"test leaked shared-memory segments {leaked}; close the owning "
+        "SharedTrajectoryStore / ShardedGATIndex before returning"
+    )

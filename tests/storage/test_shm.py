@@ -1,0 +1,179 @@
+"""Shared-memory trajectory store lifecycle.
+
+The store's contract is strict ownership: the writer that packed a
+segment is the only party that ever unlinks it, does so exactly once,
+and leaves nothing behind — readers attach by name, never clean up, and
+get a clear error when they attach after the writer is gone.
+"""
+
+import gc
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.data.generator import CheckInGenerator, GeneratorConfig
+from repro.model.trajectory import ActivityTrajectory
+from repro.storage import shm
+
+
+@pytest.fixture()
+def db():
+    config = GeneratorConfig(
+        n_users=12,
+        n_venues=30,
+        vocabulary_size=40,
+        width_km=5.0,
+        height_km=5.0,
+        n_hotspots=2,
+        checkins_per_user_mean=6.0,
+        activities_per_checkin_mean=2.0,
+        seed=4242,
+    )
+    return CheckInGenerator(config).generate(name="shm-db")
+
+
+def _segment_exists(name: str) -> bool:
+    """Probe the OS directly, bypassing the module's reader cache."""
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    # Attaching registered this probe with the resource tracker as if we
+    # created it; hand responsibility straight back before closing.
+    from multiprocessing import resource_tracker
+
+    try:
+        resource_tracker.unregister(probe._name, "shared_memory")
+    except Exception:
+        pass
+    probe.close()
+    return True
+
+
+def test_close_unlinks_segments(db):
+    store = shm.SharedTrajectoryStore.for_database(db)
+    spec = store.spec()
+    assert _segment_exists(spec.base.name)
+    assert spec.base.name in shm.active_segments()
+    store.close()
+    assert not _segment_exists(spec.base.name)
+    assert spec.base.name not in shm.active_segments()
+
+
+def test_double_close_is_idempotent(db):
+    store = shm.SharedTrajectoryStore.for_database(db)
+    store.close()
+    store.close()  # must not raise (FileNotFoundError is swallowed)
+    assert store.closed
+
+
+def test_use_after_close_raises(db):
+    store = shm.SharedTrajectoryStore.for_database(db)
+    store.close()
+    with pytest.raises(RuntimeError, match="after close"):
+        store.spec()
+    with pytest.raises(RuntimeError, match="after close"):
+        store.base_arrays()
+    with pytest.raises(RuntimeError, match="after close"):
+        store.sync(db)
+
+
+def test_attach_after_writer_close_is_a_clear_error(db):
+    """A reader resolving a spec whose writer already unlinked must get
+    the actionable RuntimeError, not a raw FileNotFoundError.  (Within
+    one process this needs a name the reader cache has never seen —
+    exactly the situation of a worker attaching after the parent died.)"""
+    store = shm.SharedTrajectoryStore.for_database(db)
+    spec = store.spec()
+    store.close()
+    with pytest.raises(RuntimeError, match="gone"):
+        shm.attach_arrays(spec.base)
+    with pytest.raises(RuntimeError, match="gone"):
+        shm.attach_database(spec, db.vocabulary)
+
+
+def test_finalizer_backstop_unlinks_dropped_store(db):
+    store = shm.SharedTrajectoryStore.for_database(db)
+    name = store.spec().base.name
+    del store
+    gc.collect()
+    assert not _segment_exists(name)
+    assert name not in shm.active_segments()
+
+
+def test_context_manager_closes(db):
+    with shm.SharedTrajectoryStore.for_database(db) as store:
+        name = store.spec().base.name
+        assert _segment_exists(name)
+    assert store.closed
+    assert not _segment_exists(name)
+
+
+def test_attach_views_equal_source_columns(db):
+    with shm.SharedTrajectoryStore.for_database(db) as store:
+        packed = store.base_arrays()
+        attached = shm.attach_arrays(store.spec().base)
+        original = db.to_arrays()
+        for (name_a, a), (_n, b), (_n2, c) in zip(
+            original.field_arrays(), packed.field_arrays(), attached.field_arrays()
+        ):
+            assert np.array_equal(a, b), name_a
+            assert np.array_equal(a, c), name_a
+
+
+def test_attached_database_is_cached_per_spec(db):
+    with shm.SharedTrajectoryStore.for_database(db) as store:
+        first = shm.attach_database(store.spec(), db.vocabulary, name="cache-probe")
+        second = shm.attach_database(store.spec(), db.vocabulary, name="cache-probe")
+        assert first is second
+
+
+def test_sync_publishes_cumulative_delta_and_retires_old_one(db):
+    extra = CheckInGenerator(
+        GeneratorConfig(
+            n_users=4,
+            n_venues=20,
+            vocabulary_size=40,
+            width_km=5.0,
+            height_km=5.0,
+            n_hotspots=2,
+            checkins_per_user_mean=5.0,
+            activities_per_checkin_mean=2.0,
+            seed=777,
+        )
+    ).generate(name="extra")
+    with shm.SharedTrajectoryStore.for_database(db) as store:
+        spec0 = store.spec()
+        assert spec0.delta is None
+        # No growth: sync is a pure read and the spec compares equal.
+        assert store.sync(db) == spec0
+
+        newcomers = [
+            ActivityTrajectory(10_000 + i, tr.points)
+            for i, tr in enumerate(extra.trajectories)
+        ]
+        db.add(newcomers[0])
+        spec1 = store.sync(db)
+        assert spec1.delta is not None and spec1 != spec0
+        attached1 = shm.attach_database(spec1, db.vocabulary, name="delta-probe")
+        assert len(attached1) == len(db)
+        assert 10_000 in attached1
+
+        # Second growth: the delta is cumulative and the superseded delta
+        # segment is unlinked (readers re-attach through the new spec).
+        db.add(newcomers[1])
+        spec2 = store.sync(db)
+        assert spec2.delta.name != spec1.delta.name
+        assert not _segment_exists(spec1.delta.name)
+        attached2 = shm.attach_database(spec2, db.vocabulary, name="delta-probe")
+        assert {10_000, 10_001} <= {tr.trajectory_id for tr in attached2}
+
+        # Shrinking below the base is a contract violation, loudly.
+        with pytest.raises(ValueError, match="shrank"):
+            store.sync(
+                type(db).from_trajectories(
+                    db.trajectories[:2], db.vocabulary, name="shrunk"
+                )
+            )
+    assert shm.active_segments() == []
