@@ -65,6 +65,18 @@ MANIFEST = {
         "speedups.mixed-default": "higher",
         "sharded.cells_ratio": "lower",  # spatial/local over hash/global
     },
+    "BENCH_faults.json": {
+        # Correctness ratios of the chaos scenarios — deterministic by
+        # construction (the benchmark asserts them at 1.0-style values),
+        # gated so a silent contract break shows up as a regression even
+        # if someone loosens the in-benchmark asserts.
+        "rows[scenario=parity].rankings_exact": "higher",
+        "rows[scenario=disk-errors].complete_frac": "higher",
+        "rows[scenario=disk-errors].rankings_exact": "higher",
+        "rows[scenario=shard-down].mean_coverage_frac": "higher",
+        "rows[scenario=worker-kill].complete_frac": "higher",
+        "rows[scenario=worker-kill].rankings_exact": "higher",
+    },
 }
 
 _SELECTOR = re.compile(r"^(?P<name>[^\[]+)\[(?P<filters>[^\]]+)\]$")

@@ -20,7 +20,11 @@ The library implements activity-trajectory similarity search end to end:
 * a **sharded subsystem** (:mod:`repro.shard`) — trajectory-partitioned
   per-shard GAT indexes behind a :class:`ShardedQueryService` that fans
   queries out over threads or a process pool and k-way merges the ranked
-  lists, byte-identical to the single index;
+  lists, byte-identical to the single index — with optional replication,
+  and fault-tolerant serving (:class:`FaultPolicy` deadlines / retries /
+  hedges, circuit-breaking replica failover, a self-healing process
+  fleet) exercised by the seedable fault injection in
+  :mod:`repro.faults`;
 * the paper's three baselines (IL, RT, IRT) over from-scratch inverted
   lists, an R-tree and an IR-tree.
 
@@ -71,6 +75,8 @@ from repro.core import (
 )
 from repro.service import QueryRequest, QueryResponse, QueryService, ServiceStats
 from repro.shard import (
+    BreakerConfig,
+    FaultPolicy,
     ReplicatedShardedService,
     ShardedGATIndex,
     ShardedQueryService,
@@ -111,6 +117,8 @@ __all__ = [
     "ShardedGATIndex",
     "ShardedQueryService",
     "ReplicatedShardedService",
+    "FaultPolicy",
+    "BreakerConfig",
     "InvertedIndex",
     "RTree",
     "IRTree",

@@ -153,6 +153,8 @@ class ExperimentHarness:
         n_clients: int = 1,
         n_replicas: int = 1,
         replica_router: str = "round-robin",
+        fault_policy=None,
+        disk_factory=None,
     ) -> MethodTiming:
         """Serve the batch through a :class:`ShardedQueryService` over a
         fresh sharded build of the harness database — or, with
@@ -167,6 +169,15 @@ class ExperimentHarness:
         ``search_many`` call.  ``total_seconds`` is batch wall time, so
         ``avg_seconds`` is the amortised per-query cost, comparable with
         :meth:`run_batch`'s GAT row and :meth:`run_service_batch`.
+
+        Fault-tolerance benchmarks pass *fault_policy* (a
+        :class:`~repro.shard.resilience.FaultPolicy`, enabling the
+        supervised fan-out) and *disk_factory* (a zero-arg
+        ``SimulatedDisk`` factory handed to ``ShardedGATIndex.build``,
+        called once per shard — e.g. disks wearing a
+        :class:`~repro.faults.FaultInjector`).  Resilience
+        counters (retries / hedges / partial responses) ride in
+        ``extra`` whenever a policy is set.
         """
         from concurrent.futures import ThreadPoolExecutor
 
@@ -178,7 +189,10 @@ class ExperimentHarness:
         )
 
         sharded = ShardedGATIndex.build(
-            self.db, n_shards=n_shards, config=self.gat_config
+            self.db,
+            n_shards=n_shards,
+            config=self.gat_config,
+            disk_factory=disk_factory,
         )
         if n_replicas > 1:
             service_cm = ReplicatedShardedService(
@@ -186,9 +200,12 @@ class ExperimentHarness:
                 executor=executor,
                 n_replicas=n_replicas,
                 replica_router=replica_router,
+                fault_policy=fault_policy,
             )
         else:
-            service_cm = ShardedQueryService(sharded, executor=executor)
+            service_cm = ShardedQueryService(
+                sharded, executor=executor, fault_policy=fault_policy
+            )
         with service_cm as service:
             t0 = time.perf_counter()
             if n_clients <= 1:
@@ -210,17 +227,25 @@ class ExperimentHarness:
         method = f"GAT/{n_shards}sh×{executor}"
         if n_replicas > 1:
             method += f"×{n_replicas}rep"
+        extra = {
+            "qps": stats.qps,
+            "p50_ms": stats.latency_p50_s * 1000.0,
+            "p95_ms": stats.latency_p95_s * 1000.0,
+            "disk_reads": float(stats.disk_reads),
+        }
+        if fault_policy is not None:
+            extra["task_retries"] = float(stats.task_retries)
+            extra["task_hedges"] = float(stats.task_hedges)
+            extra["partial_responses"] = float(stats.partial_responses)
+            extra["complete_responses"] = float(
+                sum(1 for r in responses if r.complete)
+            )
         return MethodTiming(
             method=method,
             total_seconds=wall,
             n_queries=len(responses),
             candidates=sum(r.stats.candidates_retrieved for r in responses),
-            extra={
-                "qps": stats.qps,
-                "p50_ms": stats.latency_p50_s * 1000.0,
-                "p95_ms": stats.latency_p95_s * 1000.0,
-                "disk_reads": float(stats.disk_reads),
-            },
+            extra=extra,
         )
 
     def sweep(

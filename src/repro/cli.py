@@ -7,7 +7,9 @@ Four subcommands cover the library's end-to-end workflow:
 * ``query``    — run one ATSQ/OATSQ against a dataset file, or a whole
   workload batch through the concurrent :class:`QueryService`
   (``--batch N --workers W``);
-* ``sweep``    — run one of the paper's figure sweeps and print the table.
+* ``sweep``    — run one of the paper's figure sweeps and print the table;
+* ``shm-sweep`` — reclaim shared-memory segments orphaned by killed
+  store writers (``--dry-run`` to only report).
 
 Usage examples::
 
@@ -16,7 +18,10 @@ Usage examples::
     python -m repro.cli query la.jsonl --k 5 --order-sensitive --seed 3
     python -m repro.cli query la.jsonl --k 5 --batch 50 --workers 8
     python -m repro.cli query la.jsonl --k 5 --batch 50 --shards 4 --executor process
+    python -m repro.cli query la.jsonl --k 5 --batch 50 --shards 4 \
+        --replicas 2 --deadline-ms 200 --task-retries 2 --hedge-ms 50
     python -m repro.cli sweep la.jsonl --figure k
+    python -m repro.cli shm-sweep --dry-run
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from repro.model.database import TrajectoryDatabase
 from repro.service import QueryRequest, QueryService
 from repro.shard import (
     REPLICA_ROUTERS,
+    FaultPolicy,
     ReplicatedShardedService,
     ShardedGATIndex,
     ShardedQueryService,
@@ -140,6 +146,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "least-in-flight, or power-of-two (two random choices, pick the "
         "less loaded)",
     )
+    p_query.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query deadline for the sharded stack: shards still "
+        "pending at the deadline are dropped and the response degrades "
+        "to partial coverage (requires --shards > 1 or --replicas > 1)",
+    )
+    p_query.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        help="bounded retries per shard task before that shard counts as "
+        "failed (sharded stack; default 2 when any fault flag is set)",
+    )
+    p_query.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        help="hedge a straggling shard task after this many ms (the "
+        "latency tracker's tail quantile takes over once warmed up); "
+        "most useful with --replicas > 1, where the hedge lands on a "
+        "sibling copy",
+    )
 
     p_sweep = sub.add_parser("sweep", help="run a paper figure sweep")
     p_sweep.add_argument("dataset", help=".jsonl dataset path")
@@ -152,6 +182,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--queries", type=int, default=3, help="queries per point")
     p_sweep.add_argument("--order-sensitive", action="store_true")
     p_sweep.add_argument("--seed", type=int, default=77)
+
+    p_shm = sub.add_parser(
+        "shm-sweep",
+        help="reclaim shared-memory segments orphaned by killed store writers",
+    )
+    p_shm.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report orphaned segments without unlinking them",
+    )
     return parser
 
 
@@ -198,12 +238,26 @@ def _serving_stack(args: argparse.Namespace):
     return True, label
 
 
+def _fault_policy_from_args(args: argparse.Namespace) -> Optional[FaultPolicy]:
+    """Build the sharded stack's :class:`FaultPolicy` from the CLI fault
+    flags; ``None`` (all flags unset) keeps the historical all-or-nothing
+    fan-out."""
+    if args.deadline_ms is None and args.task_retries is None and args.hedge_ms is None:
+        return None
+    return FaultPolicy(
+        deadline_s=args.deadline_ms / 1000.0 if args.deadline_ms is not None else None,
+        max_retries=args.task_retries if args.task_retries is not None else 2,
+        hedge_after_s=args.hedge_ms / 1000.0 if args.hedge_ms is not None else None,
+    )
+
+
 def _build_query_service(db, args: argparse.Namespace):
     """The serving stack the ``query`` subcommand runs against: a plain
     :class:`QueryService` for ``--shards 1``, a sharded fleet otherwise —
     replicated when ``--replicas > 1``."""
     gat_config = GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
     if _serving_stack(args)[0]:
+        fault_policy = _fault_policy_from_args(args)
         sharded = ShardedGATIndex.build(
             db, n_shards=args.shards, config=gat_config,
             strategy=args.shard_strategy,
@@ -216,12 +270,14 @@ def _build_query_service(db, args: argparse.Namespace):
                 n_replicas=args.replicas,
                 replica_router=args.replica_router,
                 max_workers=args.workers,  # None -> the executor's default
+                fault_policy=fault_policy,
             )
         return ShardedQueryService(
             sharded,
             engine_config=EngineConfig(kernel=args.kernel),
             executor=args.executor,
             max_workers=args.workers,  # None -> the executor's default
+            fault_policy=fault_policy,
         )
     engine = GATSearchEngine(GATIndex.build(db, gat_config), kernel=args.kernel)
     return QueryService(engine, max_workers=args.workers if args.workers else 8)
@@ -240,6 +296,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
     if args.replicas < 1:
         print("--replicas must be >= 1", file=sys.stderr)
+        return 2
+    fault_flags = (args.deadline_ms, args.task_retries, args.hedge_ms)
+    if any(f is not None for f in fault_flags) and not _serving_stack(args)[0]:
+        print(
+            "--deadline-ms/--task-retries/--hedge-ms need the sharded stack "
+            "(--shards > 1 or --replicas > 1)",
+            file=sys.stderr,
+        )
         return 2
     db = load_database_jsonl(args.dataset)
     service = _build_query_service(db, args)
@@ -304,14 +368,21 @@ def _run_query_batch(service, workload, args: argparse.Namespace) -> int:
         )
         if args.explain and best is not None and best.matches is not None:
             head += f"  matches={best.matches}"
-        print(f"  q{i + 1}: top-1 {head}  ({resp.latency_s * 1000:.1f} ms, "
-              f"{resp.stats.disk_reads} disk reads)")
+        line = (f"  q{i + 1}: top-1 {head}  ({resp.latency_s * 1000:.1f} ms, "
+                f"{resp.stats.disk_reads} disk reads)")
+        if not resp.complete:
+            line += f"  [partial {resp.shards_answered}/{resp.shards_total} shards]"
+        print(line)
     stats = service.stats()
     print(f"\nservice: {stats.qps:.1f} QPS, "
           f"p50 {stats.latency_p50_s * 1000:.1f} ms, "
           f"p95 {stats.latency_p95_s * 1000:.1f} ms, "
           f"HICL cache hit rate {stats.hicl_cache_hit_rate:.1%}, "
           f"APL cache hit rate {stats.apl_cache_hit_rate:.1%}")
+    if stats.task_retries or stats.task_hedges or stats.partial_responses:
+        print(f"faults: {stats.task_retries} retries, "
+              f"{stats.task_hedges} hedges, "
+              f"{stats.partial_responses} partial responses")
     service.close()
     return 0
 
@@ -332,11 +403,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shm_sweep(args: argparse.Namespace) -> int:
+    from repro.storage.shm import cleanup_orphans
+
+    orphans = cleanup_orphans(dry_run=args.dry_run)
+    verb = "orphaned (left in place)" if args.dry_run else "reclaimed"
+    if not orphans:
+        print("no orphaned shared-memory segments")
+        return 0
+    print(f"{len(orphans)} segment(s) {verb}:")
+    for name in orphans:
+        print(f"  {name}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "query": _cmd_query,
     "sweep": _cmd_sweep,
+    "shm-sweep": _cmd_shm_sweep,
 }
 
 

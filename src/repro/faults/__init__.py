@@ -1,0 +1,19 @@
+"""Fault injection: make failure a first-class, reproducible test axis.
+
+:mod:`repro.faults.injector` hooks seedable read errors, latency spikes,
+and indefinite stalls into :class:`~repro.storage.disk.SimulatedDisk`;
+:mod:`repro.faults.chaos` SIGKILLs process-fleet workers mid-batch.  The
+serving tier's answer to both lives in :mod:`repro.shard.resilience`
+(deadlines, retries, hedging) and :mod:`repro.shard.replicas` (per-replica
+health + circuit breaking).
+"""
+
+from repro.faults.chaos import kill_fleet_workers
+from repro.faults.injector import FaultInjector, FaultRule, InjectedDiskError
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "InjectedDiskError",
+    "kill_fleet_workers",
+]

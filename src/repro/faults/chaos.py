@@ -1,0 +1,48 @@
+"""Chaos helpers for the process fleet: kill workers, on purpose.
+
+The process backend's real-world failure mode is not a tidy exception —
+it is a worker OOM-killed or segfaulted mid-task, which surfaces parent-
+side as :class:`concurrent.futures.process.BrokenProcessPool` on *every*
+in-flight future.  :func:`kill_fleet_workers` reproduces exactly that,
+seedably, against a live :class:`~repro.shard.executor.ProcessShardExecutor`
+so the self-healing path (pool re-init from the spec + task replay) is a
+test subject instead of a hope.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from typing import List, Optional
+
+
+def kill_fleet_workers(
+    executor,
+    count: int = 1,
+    seed: Optional[int] = None,
+    sig: int = signal.SIGKILL,
+) -> List[int]:
+    """SIGKILL *count* workers of a :class:`ProcessShardExecutor`.
+
+    Victims are sampled with ``random.Random(seed)`` from the live worker
+    pids (``executor.worker_pids()``); pass ``count`` >= the pool width to
+    take the whole fleet down.  Returns the pids actually signalled.
+    Workers spawn on first use — call :meth:`ProcessShardExecutor.warm_up`
+    (or run a batch) first; killing an empty fleet is a usage error, not a
+    silent no-op.
+    """
+    pids = executor.worker_pids()
+    if not pids:
+        raise RuntimeError(
+            "process fleet has no live workers to kill — warm the pool "
+            "first (executor.warm_up() or any completed batch)"
+        )
+    rng = random.Random(seed)
+    victims = rng.sample(pids, min(count, len(pids)))
+    for pid in victims:
+        try:
+            os.kill(pid, sig)
+        except ProcessLookupError:  # pragma: no cover - racy exit
+            pass
+    return victims

@@ -59,12 +59,31 @@ class QueryRequest:
 
 @dataclass(slots=True)
 class QueryResponse:
-    """The service's answer to one :class:`QueryRequest`."""
+    """The service's answer to one :class:`QueryRequest`.
+
+    ``shards_answered`` / ``shards_total`` are the response's *coverage*:
+    how many of the index partitions behind the service contributed to
+    the ranking.  The single-engine service and every non-degraded
+    sharded response have full coverage; only a sharded service running
+    under a :class:`~repro.shard.resilience.FaultPolicy` with
+    ``allow_partial=True`` can return less — a best-effort merge of the
+    shards that answered before the deadline (exactness holds per
+    answering shard; trajectories living on the silent shards are simply
+    absent).  Callers that must not act on degraded data check
+    :attr:`complete`.
+    """
 
     request: QueryRequest
     results: List[SearchResult]
     stats: SearchStats
     latency_s: float
+    shards_answered: int = 1
+    shards_total: int = 1
+
+    @property
+    def complete(self) -> bool:
+        """Whether every shard contributed (full-coverage, exact result)."""
+        return self.shards_answered >= self.shards_total
 
 
 @dataclass(slots=True)
@@ -92,6 +111,13 @@ class ServiceStats:
     disk_reads: int = 0
     result_cache_hits: int = 0
     result_cache_lookups: int = 0
+    #: Fault-tolerance accounting (sharded services under a FaultPolicy;
+    #: always zero elsewhere): extra shard-task attempts after failures,
+    #: hedged backup attempts, and responses that went out with partial
+    #: shard coverage.
+    task_retries: int = 0
+    task_hedges: int = 0
+    partial_responses: int = 0
 
     @property
     def qps(self) -> float:

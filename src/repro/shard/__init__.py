@@ -19,6 +19,10 @@ The scale-out layer above the single-machine engine:
   every shard behind a pluggable :class:`~repro.shard.replicas.ReplicaRouter`
   (round-robin / least-in-flight / power-of-two-choices), for read
   scaling beyond one device per shard; rankings stay byte-identical.
+* :mod:`~repro.shard.resilience` — fault-tolerant serving: per-query
+  deadlines, bounded backoff'd retries, hedged attempts, per-replica
+  circuit breakers, and graceful degradation to partial coverage
+  (opt in with a :class:`~repro.shard.resilience.FaultPolicy`).
 """
 
 from repro.shard.executor import (
@@ -28,18 +32,28 @@ from repro.shard.executor import (
     ShardEngineSpec,
     ShardResult,
     ShardTask,
+    ShardTaskError,
     ThreadShardExecutor,
     build_shard_engine,
 )
 from repro.shard.index import TRAJECTORY_STORES, ShardedGATIndex
 from repro.shard.replicas import (
     REPLICA_ROUTERS,
+    BreakerConfig,
     LeastInFlightRouter,
     PowerOfTwoRouter,
+    ReplicaHealth,
     ReplicaRouter,
     ReplicatedShardedService,
     RoundRobinRouter,
     make_replica_router,
+)
+from repro.shard.resilience import (
+    DeadlineExceeded,
+    FanoutOutcome,
+    FanoutSupervisor,
+    FaultPolicy,
+    TaskLatencyTracker,
 )
 from repro.shard.router import ShardRouter
 from repro.shard.service import ShardedQueryService
@@ -55,8 +69,16 @@ __all__ = [
     "PowerOfTwoRouter",
     "REPLICA_ROUTERS",
     "make_replica_router",
+    "BreakerConfig",
+    "ReplicaHealth",
+    "FaultPolicy",
+    "FanoutSupervisor",
+    "FanoutOutcome",
+    "TaskLatencyTracker",
+    "DeadlineExceeded",
     "ShardTask",
     "ShardResult",
+    "ShardTaskError",
     "ShardEngineSpec",
     "SerialShardExecutor",
     "ThreadShardExecutor",

@@ -37,8 +37,10 @@ workers attach to the one copy of the dataset instead of unpickling it.
 from __future__ import annotations
 
 import math
+import os
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -105,6 +107,34 @@ class ShardResult:
 
 
 ShardRunner = Callable[[ShardTask], ShardResult]
+
+
+class ShardTaskError(RuntimeError):
+    """A shard task failed, wrapped with serving context.
+
+    A raw worker traceback says nothing about *which* shard, replica, or
+    query died; every backend wraps task failures here so the failure
+    names its place in the fleet.  ``task`` and ``original`` keep the full
+    objects for the supervisor's retry/failover machinery; ``shard_id``
+    and ``replica`` are the fields operators (and tests) match on.
+    """
+
+    def __init__(
+        self,
+        task: ShardTask,
+        original: BaseException,
+        replica: Optional[int] = None,
+    ) -> None:
+        self.task = task
+        self.shard_id = task.shard_id
+        self.replica = task.replica if replica is None else replica
+        self.original = original
+        super().__init__(
+            f"shard {self.shard_id} (replica {self.replica}) failed serving "
+            f"query group {task.group} (k={task.k}, "
+            f"|query|={len(task.query)}): "
+            f"{type(original).__name__}: {original}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -278,6 +308,13 @@ class _SlotThreshold:
             return self._value.value
 
 
+def _worker_ping() -> int:
+    """No-op worker task; :meth:`ProcessShardExecutor.warm_up` uses it to
+    force the pool's processes into existence (chaos tests need live pids
+    to kill before any real batch has run)."""
+    return os.getpid()
+
+
 def _worker_search(task: ShardTask) -> ShardResult:
     if _WORKER_SPEC is None:  # pragma: no cover - defensive
         raise RuntimeError("shard worker used before initialisation")
@@ -316,6 +353,24 @@ class SerialShardExecutor:
             # resurrect them.  Same invariant as the pooled backends.
             raise RuntimeError("SerialShardExecutor used after close()")
         return [self._run_task(task) for task in tasks]
+
+    def submit(self, task: ShardTask) -> Future:
+        """Run *task* inline and return an already-completed future — the
+        fan-out supervisor speaks one submission API across backends.
+        Deadlines/hedges cannot preempt an inline task, of course; the
+        serial backend is the debugging baseline, not a serving tier."""
+        if self._closed:
+            raise RuntimeError("SerialShardExecutor used after close()")
+        future: Future = Future()
+        try:
+            future.set_result(self._run_task(task))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+    def heal(self) -> bool:
+        """Nothing to heal in-process; the supervisor calls this blindly."""
+        return False
 
     def close(self) -> None:
         self._closed = True
@@ -358,6 +413,14 @@ class ThreadShardExecutor:
     def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
         return list(self._shared_pool().map(self._run_task, tasks))
 
+    def submit(self, task: ShardTask) -> Future:
+        """Submit one task to the shared pool (the supervisor's API)."""
+        return self._shared_pool().submit(self._run_task, task)
+
+    def heal(self) -> bool:
+        """Thread pools do not break; the supervisor calls this blindly."""
+        return False
+
     def close(self) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
@@ -383,6 +446,19 @@ class ProcessShardExecutor:
     the fleet minimum published there (see :class:`_SlotThreshold`).  When
     every slot is leased, further queries simply run without one —
     correct, just without cross-shard pruning.
+
+    Self-healing: a SIGKILLed (OOM-killed, segfaulted) worker breaks the
+    whole :class:`ProcessPoolExecutor` — every in-flight future raises
+    :class:`BrokenProcessPool` and the pool is unusable forever.  Both
+    :meth:`run` and :meth:`submit` treat that as a *fleet* event, not a
+    task failure: the broken pool is retired, the next submission
+    re-initialises a fresh pool from the (cheap, shared-memory-backed)
+    spec, and :meth:`run` replays exactly the tasks whose futures died —
+    at most :attr:`max_pool_repairs` times per call, after which the
+    breakage surfaces as a :class:`ShardTaskError`.  Threshold slots are
+    parent-owned ``mp.Value``s inherited by every pool generation, so
+    leases survive a repair; a dead worker's last published threshold
+    stays a sound (real-result) upper bound for the replayed task.
     """
 
     kind = "process"
@@ -396,10 +472,16 @@ class ProcessShardExecutor:
         spec: ShardEngineSpec,
         max_workers: Optional[int] = None,
         mp_context=None,
+        max_pool_repairs: int = 3,
     ) -> None:
         self.max_workers = max_workers if max_workers is not None else spec.n_shards
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if max_pool_repairs < 0:
+            raise ValueError("max_pool_repairs must be >= 0")
+        self.max_pool_repairs = max_pool_repairs
+        #: Broken pools retired so far (chaos tests assert recovery here).
+        self.pool_repairs = 0
         self._spec = spec
         #: The spec the live pool was initialised from (``None`` before the
         #: first pool) — :meth:`_shared_pool` compares it against the
@@ -431,10 +513,15 @@ class ProcessShardExecutor:
         return slot
 
     def release_slot(self, slot: Optional[int]) -> None:
+        """Return a leased threshold slot.  Duplicate-tolerant: failure
+        paths (supervisor cleanup racing the service's own ``finally``)
+        may release the same lease twice, and a double-append would let
+        two queries share one slot's threshold — unsound pruning."""
         if slot is None:
             return
         with self._lock:
-            self._free_slots.append(slot)
+            if slot not in self._free_slots:
+                self._free_slots.append(slot)
 
     def _shared_pool(self) -> ProcessPoolExecutor:
         # Locked like the thread backend — a raced double-create here
@@ -470,8 +557,94 @@ class ProcessShardExecutor:
             # nothing races the snapshot swap itself.
             stale.shutdown(wait=True)
 
+    def _retire_broken(self, pool: ProcessPoolExecutor) -> bool:
+        """Drop *pool* so the next submission re-initialises from the
+        spec.  Identity-checked — concurrent detectors of one breakage
+        retire it once — and never raises: shutting down a pool whose
+        workers are already dead must not mask the original failure."""
+        retired = False
+        with self._lock:
+            if self._pool is pool and not self._closed:
+                self._pool = None
+                self.pool_repairs += 1
+                retired = True
+        try:
+            pool.shutdown(wait=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        return retired
+
+    def heal(self) -> bool:
+        """Retire the live pool if it is broken (the supervisor calls this
+        when a future dies with :class:`BrokenProcessPool`).  Returns
+        whether anything was retired."""
+        with self._lock:
+            pool = self._pool
+        if pool is None or not getattr(pool, "_broken", False):
+            return False
+        return self._retire_broken(pool)
+
+    def submit(self, task: ShardTask) -> Future:
+        """Submit one task, healing through submission-time pool breakage
+        (a worker killed while the pool sat idle surfaces here, not on a
+        future).  The returned future can still die with
+        :class:`BrokenProcessPool` if the kill lands mid-flight — that is
+        the supervisor's (or :meth:`run`'s) retry to make."""
+        last_exc: Optional[BaseException] = None
+        for _ in range(self.max_pool_repairs + 1):
+            pool = self._shared_pool()
+            try:
+                return pool.submit(_worker_search, task)
+            except BrokenProcessPool as exc:
+                last_exc = exc
+                self._retire_broken(pool)
+        raise ShardTaskError(task, last_exc)
+
     def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
-        return list(self._shared_pool().map(_worker_search, tasks))
+        """Run a batch; order of results matches *tasks*.  Futures that
+        die with :class:`BrokenProcessPool` are replayed on a fresh pool
+        (bounded by :attr:`max_pool_repairs`); any other worker exception
+        is wrapped with its task's context and raised."""
+        results: List[Optional[ShardResult]] = [None] * len(tasks)
+        pending = [(i, self.submit(task)) for i, task in enumerate(tasks)]
+        repairs_left = self.max_pool_repairs
+        while pending:
+            broken: List[int] = []
+            broken_exc: Optional[BaseException] = None
+            for i, future in pending:
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool as exc:
+                    broken.append(i)
+                    broken_exc = exc
+                except Exception as exc:
+                    raise ShardTaskError(tasks[i], exc) from exc
+            if not broken:
+                break
+            if repairs_left <= 0:
+                raise ShardTaskError(tasks[broken[0]], broken_exc)
+            repairs_left -= 1
+            self.heal()
+            pending = [(i, self.submit(tasks[i])) for i in broken]
+        return results  # type: ignore[return-value]
+
+    def worker_pids(self) -> List[int]:
+        """Pids of the live pool's worker processes (chaos targets)."""
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            return []
+        processes = getattr(pool, "_processes", None) or {}
+        return [pid for pid, proc in list(processes.items()) if proc.is_alive()]
+
+    def warm_up(self) -> List[int]:
+        """Force every worker process into existence (they normally spawn
+        lazily per submission) and return their pids."""
+        pool = self._shared_pool()
+        futures = [pool.submit(_worker_ping) for _ in range(self.max_workers)]
+        for future in futures:
+            future.result()
+        return self.worker_pids()
 
     def refresh(self, spec: ShardEngineSpec) -> None:
         """Adopt a new worker snapshot after an index mutation —
@@ -486,8 +659,16 @@ class ProcessShardExecutor:
             self._spec = spec
 
     def close(self) -> None:
+        """Shut the pool down (idempotent).  Must succeed even while
+        degraded: closing right after a worker kill — broken pool, dead
+        processes — has nothing useful left to do, and raising here would
+        leak the service teardown it is part of.  The threshold slots are
+        parent-owned and survive untouched either way."""
         with self._lock:
             pool, self._pool = self._pool, None
             self._closed = True
         if pool is not None:
-            pool.shutdown(wait=True)
+            try:
+                pool.shutdown(wait=True)
+            except Exception:  # pragma: no cover - defensive
+                pass

@@ -61,6 +61,8 @@ from __future__ import annotations
 
 import random
 import threading
+import time
+from dataclasses import dataclass
 from dataclasses import replace as dc_replace
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -69,6 +71,7 @@ from repro.index.gat.index import GATIndex
 from repro.model.distance import DistanceMetric
 from repro.shard.executor import ProcessShardExecutor, ShardTask
 from repro.shard.index import ShardedGATIndex
+from repro.shard.resilience import FaultPolicy
 from repro.shard.service import ShardedQueryService, _minus_cache_stats
 from repro.storage.cache import CacheStats
 from repro.storage.disk import SimulatedDisk
@@ -76,19 +79,179 @@ from repro.storage.disk import SimulatedDisk
 REPLICA_ROUTERS = ("round-robin", "least-in-flight", "power-of-two")
 
 
+# ----------------------------------------------------------------------
+# Per-replica health: the circuit breaker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit-breaker knobs for per-replica health tracking.
+
+    A replica is **ejected** (circuit opens) after ``failure_threshold``
+    *consecutive* task failures; after ``probation_after_s`` it becomes a
+    probation candidate: exactly one in-flight **probe** task is allowed
+    through, whose outcome either restores the replica (circuit closes)
+    or re-ejects it for another probation interval.
+    """
+
+    failure_threshold: int = 3
+    probation_after_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.probation_after_s <= 0:
+            raise ValueError("probation_after_s must be > 0")
+
+
+#: Breaker states (`ReplicaHealth.state`): serving normally, ejected, or
+#: serving a single probation probe.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_PROBING = "probing"
+
+
+class _ReplicaBreaker:
+    __slots__ = ("state", "consecutive_failures", "opened_at", "probe_in_flight")
+
+    def __init__(self) -> None:
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.probe_in_flight = False
+
+
+class ReplicaHealth:
+    """Per-(shard, replica) circuit breakers.
+
+    **Not** self-locking: every method runs under the owning router's
+    lock, which already serialises routing decisions — a second lock here
+    would only add an ordering hazard.  The *clock* is injectable so the
+    eject → probation → restore timeline is unit-testable without
+    sleeping.
+
+    Health degrades routing, never availability: when every replica of a
+    shard is ejected, :meth:`candidates` returns empty and the router
+    falls back to considering all of them (a guess at a dead replica
+    beats refusing to serve — retries and partial coverage handle the
+    rest).
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        n_replicas: int,
+        config: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self._clock = clock
+        self._breakers = [
+            [_ReplicaBreaker() for _ in range(n_replicas)] for _ in range(n_shards)
+        ]
+        self.ejections = 0
+        self.restores = 0
+        self.probes = 0
+
+    def candidates(self, shard_id: int) -> List[int]:
+        """Replica ids currently routable for *shard_id*: closed breakers,
+        plus open ones whose probation timer expired and have no probe in
+        flight (routing one *is* the probe)."""
+        now = self._clock()
+        out: List[int] = []
+        for replica, breaker in enumerate(self._breakers[shard_id]):
+            if breaker.state == BREAKER_OPEN:
+                if (
+                    not breaker.probe_in_flight
+                    and now - breaker.opened_at >= self.config.probation_after_s
+                ):
+                    out.append(replica)
+            elif breaker.state == BREAKER_PROBING:
+                # Re-eligible when the probe concluded — or when it has
+                # been outstanding a whole probation interval (an
+                # abandoned/stalled probe must not wedge the replica in
+                # probing forever).
+                if (
+                    not breaker.probe_in_flight
+                    or now - breaker.opened_at >= self.config.probation_after_s
+                ):
+                    out.append(replica)
+            else:
+                out.append(replica)
+        return out
+
+    def note_leased(self, shard_id: int, replica: int) -> None:
+        """A task was routed to *replica*; an expired-probation replica's
+        lease becomes its probe."""
+        breaker = self._breakers[shard_id][replica]
+        if breaker.state == BREAKER_OPEN:
+            now = self._clock()
+            if now - breaker.opened_at >= self.config.probation_after_s:
+                breaker.state = BREAKER_PROBING
+                breaker.probe_in_flight = True
+                breaker.opened_at = now  # the probe's own timeout clock
+                self.probes += 1
+        elif breaker.state == BREAKER_PROBING:
+            breaker.probe_in_flight = True
+            breaker.opened_at = self._clock()
+            self.probes += 1
+
+    def record_success(self, shard_id: int, replica: int) -> None:
+        breaker = self._breakers[shard_id][replica]
+        if breaker.state == BREAKER_PROBING:
+            breaker.state = BREAKER_CLOSED
+            breaker.probe_in_flight = False
+            breaker.consecutive_failures = 0
+            self.restores += 1
+        elif breaker.state == BREAKER_CLOSED:
+            breaker.consecutive_failures = 0
+        # BREAKER_OPEN: a straggler from before the ejection — ignored.
+
+    def record_failure(self, shard_id: int, replica: int) -> None:
+        breaker = self._breakers[shard_id][replica]
+        if breaker.state == BREAKER_PROBING:
+            breaker.state = BREAKER_OPEN
+            breaker.opened_at = self._clock()
+            breaker.probe_in_flight = False
+            self.ejections += 1
+        elif breaker.state == BREAKER_CLOSED:
+            breaker.consecutive_failures += 1
+            if breaker.consecutive_failures >= self.config.failure_threshold:
+                breaker.state = BREAKER_OPEN
+                breaker.opened_at = self._clock()
+                self.ejections += 1
+
+    def state(self, shard_id: int, replica: int) -> str:
+        return self._breakers[shard_id][replica].state
+
+
 class ReplicaRouter:
-    """Base replica picker: thread-safe in-flight accounting plus a
-    strategy-specific :meth:`_pick`.
+    """Base replica picker: thread-safe in-flight accounting, per-replica
+    health, plus a strategy-specific :meth:`_pick`.
 
     ``route`` leases one replica of *shard_id* (incrementing its in-flight
     depth) and ``release`` returns the lease; the depth table is what the
     load-aware strategies read, and what tests introspect via
     :meth:`in_flight`.
+
+    Health: every router carries a :class:`ReplicaHealth` circuit breaker.
+    ``route`` restricts the strategy's choice to the healthy candidates
+    (falling back to all replicas when none are — health degrades routing,
+    never availability) and the serving tier reports outcomes through
+    :meth:`record_success` / :meth:`record_failure`.  While every replica
+    is healthy the candidate set is complete and each strategy's pick
+    sequence is **bit-identical** to the pre-health routers — health
+    tracking is free until something actually fails.
     """
 
     strategy = "?"
 
-    def __init__(self, n_shards: int, n_replicas: int) -> None:
+    def __init__(
+        self,
+        n_shards: int,
+        n_replicas: int,
+        breaker: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if n_replicas < 1:
@@ -100,11 +263,16 @@ class ReplicaRouter:
             [0] * n_replicas for _ in range(n_shards)
         ]
         self._routed = 0
+        self.health = ReplicaHealth(n_shards, n_replicas, breaker, clock)
 
     def route(self, shard_id: int) -> int:
         """Lease a replica of *shard_id* for one task."""
         with self._lock:
-            replica = self._pick(shard_id)
+            candidates = self.health.candidates(shard_id)
+            if not candidates:
+                candidates = list(range(self.n_replicas))
+            replica = self._pick(shard_id, candidates)
+            self.health.note_leased(shard_id, replica)
             self._in_flight[shard_id][replica] += 1
             self._routed += 1
             return replica
@@ -120,6 +288,21 @@ class ReplicaRouter:
                 )
             depths[replica] -= 1
 
+    def record_success(self, shard_id: int, replica: int) -> None:
+        """A task served by *replica* completed (breaker feedback)."""
+        with self._lock:
+            self.health.record_success(shard_id, replica)
+
+    def record_failure(self, shard_id: int, replica: int) -> None:
+        """A task served by *replica* failed (breaker feedback)."""
+        with self._lock:
+            self.health.record_failure(shard_id, replica)
+
+    def replica_state(self, shard_id: int, replica: int) -> str:
+        """Breaker state (``closed`` / ``open`` / ``probing``) of a copy."""
+        with self._lock:
+            return self.health.state(shard_id, replica)
+
     def in_flight(self, shard_id: int) -> Tuple[int, ...]:
         """Current per-replica in-flight depths of one shard."""
         with self._lock:
@@ -131,23 +314,31 @@ class ReplicaRouter:
         with self._lock:
             return self._routed
 
-    def _pick(self, shard_id: int) -> int:  # pragma: no cover - abstract
+    def _pick(
+        self, shard_id: int, candidates: List[int]
+    ) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
 
 
 class RoundRobinRouter(ReplicaRouter):
-    """Cycle through a shard's replicas in order, one task each."""
+    """Cycle through a shard's replicas in order, one task each (skipping
+    unhealthy copies: the scan continues from the cursor to the next
+    routable replica)."""
 
     strategy = "round-robin"
 
-    def __init__(self, n_shards: int, n_replicas: int) -> None:
-        super().__init__(n_shards, n_replicas)
-        self._next = [0] * n_shards
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._next = [0] * self.n_shards
 
-    def _pick(self, shard_id: int) -> int:
-        replica = self._next[shard_id]
-        self._next[shard_id] = (replica + 1) % self.n_replicas
-        return replica
+    def _pick(self, shard_id: int, candidates: List[int]) -> int:
+        start = self._next[shard_id]
+        for step in range(self.n_replicas):
+            replica = (start + step) % self.n_replicas
+            if replica in candidates:
+                self._next[shard_id] = (replica + 1) % self.n_replicas
+                return replica
+        raise RuntimeError("route() never passes an empty candidate set")
 
 
 class LeastInFlightRouter(ReplicaRouter):
@@ -156,27 +347,34 @@ class LeastInFlightRouter(ReplicaRouter):
 
     strategy = "least-in-flight"
 
-    def _pick(self, shard_id: int) -> int:
+    def _pick(self, shard_id: int, candidates: List[int]) -> int:
         depths = self._in_flight[shard_id]
-        return min(range(self.n_replicas), key=depths.__getitem__)
+        return min(candidates, key=lambda replica: (depths[replica], replica))
 
 
 class PowerOfTwoRouter(ReplicaRouter):
     """Power-of-two-choices on in-flight depth: sample two distinct
-    replicas uniformly, route to the shallower (ties to the lower id)."""
+    candidates uniformly, route to the shallower (ties to the lower id)."""
 
     strategy = "power-of-two"
 
     def __init__(
-        self, n_shards: int, n_replicas: int, seed: Optional[int] = None
+        self,
+        n_shards: int,
+        n_replicas: int,
+        seed: Optional[int] = None,
+        breaker: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
-        super().__init__(n_shards, n_replicas)
+        super().__init__(n_shards, n_replicas, breaker=breaker, clock=clock)
         self._rng = random.Random(seed)
 
-    def _pick(self, shard_id: int) -> int:
-        if self.n_replicas == 1:
-            return 0
-        a, b = self._rng.sample(range(self.n_replicas), 2)
+    def _pick(self, shard_id: int, candidates: List[int]) -> int:
+        if len(candidates) == 1:
+            return candidates[0]
+        # With all replicas healthy `candidates` is range(n_replicas), so
+        # the seeded draw sequence matches the pre-health router exactly.
+        a, b = self._rng.sample(candidates, 2)
         depths = self._in_flight[shard_id]
         if depths[a] != depths[b]:
             return a if depths[a] < depths[b] else b
@@ -184,15 +382,22 @@ class PowerOfTwoRouter(ReplicaRouter):
 
 
 def make_replica_router(
-    strategy: str, n_shards: int, n_replicas: int, seed: Optional[int] = None
+    strategy: str,
+    n_shards: int,
+    n_replicas: int,
+    seed: Optional[int] = None,
+    breaker: Optional[BreakerConfig] = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> ReplicaRouter:
     """Build a router by strategy name (see :data:`REPLICA_ROUTERS`)."""
     if strategy == "round-robin":
-        return RoundRobinRouter(n_shards, n_replicas)
+        return RoundRobinRouter(n_shards, n_replicas, breaker=breaker, clock=clock)
     if strategy == "least-in-flight":
-        return LeastInFlightRouter(n_shards, n_replicas)
+        return LeastInFlightRouter(n_shards, n_replicas, breaker=breaker, clock=clock)
     if strategy == "power-of-two":
-        return PowerOfTwoRouter(n_shards, n_replicas, seed=seed)
+        return PowerOfTwoRouter(
+            n_shards, n_replicas, seed=seed, breaker=breaker, clock=clock
+        )
     raise ValueError(
         f"unknown replica router {strategy!r}; expected one of {REPLICA_ROUTERS}"
     )
@@ -226,6 +431,18 @@ class ReplicatedShardedService(ShardedQueryService):
         n_replicas`` threads (four queries' worth of fan-out per replica
         fleet) or ``n_shards × n_replicas`` process workers — capacity
         grows with the copies, which is the point of replication.
+    fault_policy:
+        Optional :class:`~repro.shard.resilience.FaultPolicy` enabling
+        deadlines / bounded retries / hedging on every fan-out (see the
+        base service).  Replication is what makes retries and hedges
+        *useful*: a retried or hedged attempt is re-routed through the
+        router, which — fed by the circuit breaker — steers it to a
+        healthy sibling copy of the same shard.
+    breaker:
+        Optional :class:`BreakerConfig` tuning the per-replica circuit
+        breaker (eject after N consecutive failures, probation probe
+        after a cool-down).  Only valid when *replica_router* is a
+        strategy name; a prebuilt router already owns its breaker.
 
     The in-process backends (serial/thread) hold the replica engine banks
     in this object; the process backend realises replicas as the worker
@@ -247,6 +464,8 @@ class ReplicatedShardedService(ShardedQueryService):
         max_workers: Optional[int] = None,
         result_cache_size: int = 1024,
         mp_context=None,
+        fault_policy: Optional[FaultPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
@@ -258,6 +477,11 @@ class ReplicatedShardedService(ShardedQueryService):
             )
         self.n_replicas = n_replicas
         if isinstance(replica_router, ReplicaRouter):
+            if breaker is not None:
+                raise ValueError(
+                    "breaker is only valid with a strategy name; a prebuilt "
+                    "replica_router already owns its ReplicaHealth breaker"
+                )
             if (
                 replica_router.n_shards != index.n_shards
                 or replica_router.n_replicas != n_replicas
@@ -270,7 +494,11 @@ class ReplicatedShardedService(ShardedQueryService):
             self.router = replica_router
         else:
             self.router = make_replica_router(
-                replica_router, index.n_shards, n_replicas, seed=router_seed
+                replica_router,
+                index.n_shards,
+                n_replicas,
+                seed=router_seed,
+                breaker=breaker,
             )
         if max_workers is None:
             if executor == "thread":
@@ -289,6 +517,7 @@ class ReplicatedShardedService(ShardedQueryService):
             max_workers=max_workers,
             result_cache_size=result_cache_size,
             mp_context=mp_context,
+            fault_policy=fault_policy,
         )
         # The process backend keeps its replicas worker-side; building
         # in-process banks there would double memory for engines nothing
@@ -387,7 +616,25 @@ class ReplicatedShardedService(ShardedQueryService):
         except IndexError:  # pragma: no cover - defensive
             self.router.release(shard_id, replica)
             raise
-        return engine, lambda: self.router.release(shard_id, replica)
+        return engine, lambda: self.router.release(shard_id, replica), replica
+
+    def _note_task_outcome(self, task: ShardTask, replica: int, ok: bool) -> None:
+        """Feed per-task outcomes to the router's circuit breaker."""
+        if ok:
+            self.router.record_success(task.shard_id, replica)
+        else:
+            self.router.record_failure(task.shard_id, replica)
+
+    def _reroute_task(self, task: ShardTask) -> ShardTask:
+        """Re-route a retry/hedge attempt through the router (process
+        backend: the attempt carries a *fresh* replica lease — it joins
+        the fan-out's submitted list via the supervisor's on_submit hook
+        and is released with the rest in :meth:`_after_fanout`).
+        In-process backends bind replicas at execution time, so the task
+        rides unchanged."""
+        if self._banks_in_process:
+            return task
+        return dc_replace(task, replica=self.router.route(task.shard_id))
 
     def _tasks_for(
         self, request, group: int, threshold_slot: Optional[int] = None

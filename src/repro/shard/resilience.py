@@ -1,0 +1,395 @@
+"""Fault-tolerant fan-out: deadlines, bounded retries, hedged requests.
+
+The sharded service's plain fan-out (`executor.run`) is all-or-nothing:
+one failed or stalled shard task fails or hangs the whole batch.  This
+module supervises the fan-out instead.  Each query's shard tasks are
+submitted individually (every backend exposes ``submit``); a single
+event loop then waits on whatever is in flight and reacts to time:
+
+* **deadline** — a per-query wall budget (:attr:`FaultPolicy.deadline_s`).
+  When it expires, the query's unresolved shards are abandoned (their
+  attempts keep running in the pool; nothing waits on them) and the query
+  resolves with whatever coverage it has.
+* **retries** — a failed attempt is retried after exponential backoff
+  (:attr:`FaultPolicy.retry_backoff_s` doubling per failure), at most
+  :attr:`FaultPolicy.max_retries` times per shard, never past the
+  deadline.  Under a replica tier each retry is *re-routed* — the router
+  picks a (healthier) sibling replica, which is what turns a retry into
+  failover.
+* **hedges** — when an attempt has been running longer than the fleet's
+  observed latency quantile (:class:`TaskLatencyTracker`; the fixed
+  :attr:`FaultPolicy.hedge_after_s` until enough samples exist), a single
+  backup attempt is launched on a re-routed lease.  First completion
+  wins; the loser's result is discarded (result offers dedup by
+  trajectory id, so a straggler finishing later is harmless).
+
+Exactness: retried and hedged attempts run the *same* frozen task against
+byte-identical replicas, and the shared top-k collector dedups offers by
+trajectory id — supervision moves latency and availability, never
+rankings.  When every shard answers, the merged result is byte-identical
+to the unsupervised path.
+
+The supervisor is deliberately executor-agnostic: it sees only
+``submit(task) -> Future`` plus optional hooks (``reroute`` for
+replica-failover of process-backend tasks, ``heal`` to retire a broken
+process pool, ``on_success``/``on_failure`` for router health).  The
+serial backend's inline futures degenerate it to a plain loop — correct,
+but nothing can preempt an inline task, so policies only bite under a
+concurrent backend.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.shard.executor import ShardResult, ShardTask
+
+#: Hedge delays below this would fire backup leases faster than the pool
+#: can drain them on fast workloads; the quantile is floored here.
+_MIN_HEDGE_DELAY_S = 1e-3
+
+
+class DeadlineExceeded(RuntimeError):
+    """A shard had not answered when its query's deadline budget expired."""
+
+    def __init__(self, task: ShardTask, deadline_s: float) -> None:
+        self.task = task
+        self.shard_id = task.shard_id
+        self.deadline_s = deadline_s
+        super().__init__(
+            f"shard {task.shard_id} missed the {deadline_s:.3f}s query "
+            f"deadline (group {task.group})"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-query fault-tolerance budget for the sharded services.
+
+    ``deadline_s=None`` disables the deadline, ``hedge_after_s=None``
+    disables hedging; ``max_retries=0`` disables retries.  The default
+    policy retries transient failures but neither deadlines nor hedges —
+    turning it on changes availability, never rankings.
+    ``allow_partial=False`` turns an unanswered shard into a raised
+    :class:`~repro.shard.executor.ShardTaskError` instead of a partial
+    response.
+    """
+
+    deadline_s: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff_s: float = 0.01
+    hedge_after_s: Optional[float] = None
+    hedge_quantile: float = 0.95
+    hedge_min_samples: int = 20
+    allow_partial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ValueError("hedge_after_s must be > 0 (or None)")
+        if not 0.0 < self.hedge_quantile <= 1.0:
+            raise ValueError("hedge_quantile must be in (0, 1]")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
+
+
+class TaskLatencyTracker:
+    """Sliding window of completed shard-task latencies; the hedging
+    trigger reads its quantile, so the hedge delay adapts to what the
+    fleet is actually doing instead of a guessed constant."""
+
+    def __init__(self, window: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._window: deque = deque(maxlen=window)
+
+    def record(self, latency_s: float) -> None:
+        with self._lock:
+            self._window.append(latency_s)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._window)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile over the window; ``None`` when empty."""
+        with self._lock:
+            values = sorted(self._window)
+        if not values:
+            return None
+        rank = max(1, math.ceil(q * len(values)))
+        return values[rank - 1]
+
+
+@dataclass
+class FanoutOutcome:
+    """One query's supervised fan-out: per-shard results for the shards
+    that answered, per-shard terminal errors for the ones that did not,
+    plus the retry/hedge counts the service surfaces in its stats."""
+
+    results: Dict[int, ShardResult] = field(default_factory=dict)
+    failures: Dict[int, BaseException] = field(default_factory=dict)
+    retries: int = 0
+    hedges: int = 0
+
+
+@dataclass
+class _ShardState:
+    """Supervision state of one (query, shard) pair."""
+
+    qi: int
+    task: ShardTask
+    resolved: bool = False
+    failures: int = 0
+    live: int = 0  # attempts currently in flight
+    hedged: bool = False
+    retry_due: Optional[float] = None
+    last_error: Optional[BaseException] = None
+
+
+@dataclass
+class _Attempt:
+    state: _ShardState
+    task: ShardTask  # possibly re-routed (fresh replica lease)
+    started: float
+    hedge: bool
+
+
+class FanoutSupervisor:
+    """Drives one batch of per-query fan-outs under a :class:`FaultPolicy`.
+
+    Parameters
+    ----------
+    submit:
+        ``task -> Future`` on the serving executor.
+    policy / tracker:
+        The budget and the shared latency window (owned by the service so
+        the hedge quantile learns across batches).
+    reroute:
+        Maps a task to its retry/hedge attempt — the replica tier leases a
+        fresh (preferably healthier) replica here; ``None`` reuses the
+        task unchanged (in-process backends route at execution time).
+    heal:
+        Called when an attempt dies with :class:`BrokenProcessPool`
+        (retire the broken pool so resubmission lands on a fresh fleet).
+    on_submit:
+        Observes every *re-routed* attempt task (the service releases
+        those extra replica leases after the fan-out).
+    on_success / on_failure:
+        Per-attempt health feedback ``(task) -> None`` /
+        ``(task, exc) -> None`` — the replica tier feeds its circuit
+        breaker here for process-backend attempts (in-process attempts
+        report from the task runner itself).
+    """
+
+    def __init__(
+        self,
+        submit: Callable[[ShardTask], Future],
+        policy: FaultPolicy,
+        tracker: Optional[TaskLatencyTracker] = None,
+        reroute: Optional[Callable[[ShardTask], ShardTask]] = None,
+        heal: Optional[Callable[[], object]] = None,
+        on_submit: Optional[Callable[[ShardTask], None]] = None,
+        on_success: Optional[Callable[[ShardTask], None]] = None,
+        on_failure: Optional[Callable[[ShardTask, BaseException], None]] = None,
+    ) -> None:
+        self._submit = submit
+        self._policy = policy
+        self._tracker = tracker
+        self._reroute = reroute
+        self._heal = heal
+        self._on_submit = on_submit
+        self._on_success = on_success
+        self._on_failure = on_failure
+
+    # ------------------------------------------------------------------
+    def _hedge_delay(self) -> Optional[float]:
+        policy = self._policy
+        if policy.hedge_after_s is None:
+            return None
+        if self._tracker is not None and len(self._tracker) >= policy.hedge_min_samples:
+            q = self._tracker.quantile(policy.hedge_quantile)
+            if q is not None:
+                return max(q, _MIN_HEDGE_DELAY_S)
+        return policy.hedge_after_s
+
+    # ------------------------------------------------------------------
+    def run(self, fanouts: Sequence[Sequence[ShardTask]]) -> List[FanoutOutcome]:
+        """Supervise one batch: ``fanouts[i]`` is query *i*'s task list.
+        Returns one :class:`FanoutOutcome` per query, in order."""
+        policy = self._policy
+        outcomes = [FanoutOutcome() for _ in fanouts]
+        states: List[_ShardState] = []
+        by_query: List[List[_ShardState]] = []
+        start = time.monotonic()
+        deadline_at = [
+            start + policy.deadline_s if policy.deadline_s is not None else math.inf
+            for _ in fanouts
+        ]
+        attempts: Dict[Future, _Attempt] = {}
+
+        def handle_failure(state: _ShardState, task: ShardTask, exc: BaseException) -> None:
+            if isinstance(exc, BrokenProcessPool) and self._heal is not None:
+                self._heal()
+            if self._on_failure is not None:
+                self._on_failure(task, exc)
+            if state.resolved:
+                return
+            state.failures += 1
+            state.last_error = exc
+            if state.failures <= policy.max_retries:
+                backoff = policy.retry_backoff_s * (2 ** (state.failures - 1))
+                due = time.monotonic() + backoff
+                if due <= deadline_at[state.qi]:
+                    if state.retry_due is None or due < state.retry_due:
+                        state.retry_due = due
+                    return
+            # Out of retry budget (or the retry would land past the
+            # deadline): resolve as failed unless a sibling attempt —
+            # a hedge, typically — is still live and may yet answer.
+            if state.live == 0 and state.retry_due is None:
+                state.resolved = True
+                outcomes[state.qi].failures[state.task.shard_id] = exc
+
+        def launch(state: _ShardState, *, first: bool = False, hedge: bool = False) -> None:
+            task = state.task
+            if not first and self._reroute is not None:
+                task = self._reroute(task)
+                if self._on_submit is not None:
+                    self._on_submit(task)
+            try:
+                future = self._submit(task)
+            except Exception as exc:
+                # Submission itself failed (e.g. an unrecoverable pool):
+                # same failure path as a dead future.
+                handle_failure(state, task, exc)
+                return
+            state.live += 1
+            attempts[future] = _Attempt(
+                state=state, task=task, started=time.monotonic(), hedge=hedge
+            )
+
+        for qi, tasks in enumerate(fanouts):
+            query_states = []
+            for task in tasks:
+                state = _ShardState(qi=qi, task=task)
+                states.append(state)
+                query_states.append(state)
+            by_query.append(query_states)
+        # Submit after registering every state: an inline (serial) backend
+        # completes each attempt synchronously inside launch().
+        for state in states:
+            launch(state, first=True)
+
+        while True:
+            now = time.monotonic()
+            # Deadline sweep: expired queries abandon their unresolved
+            # shards (in-flight attempts are dropped from the wait set
+            # below; the pool finishes them, nobody listens).
+            for qi, query_states in enumerate(by_query):
+                if now < deadline_at[qi]:
+                    continue
+                for state in query_states:
+                    if not state.resolved:
+                        state.resolved = True
+                        state.retry_due = None
+                        outcomes[qi].failures[state.task.shard_id] = (
+                            state.last_error
+                            if state.last_error is not None
+                            else DeadlineExceeded(state.task, policy.deadline_s)
+                        )
+            for future in [f for f, a in attempts.items() if a.state.resolved]:
+                attempts.pop(future).state.live -= 1
+            if all(state.resolved for state in states):
+                break
+            # Fire due retries.
+            for state in states:
+                if state.resolved or state.retry_due is None:
+                    continue
+                if state.retry_due <= now:
+                    state.retry_due = None
+                    outcomes[state.qi].retries += 1
+                    launch(state)
+            # Fire due hedges (one backup per shard, never hedge a hedge).
+            hedge_delay = self._hedge_delay()
+            if hedge_delay is not None:
+                for attempt in list(attempts.values()):
+                    state = attempt.state
+                    if state.resolved or state.hedged or attempt.hedge:
+                        continue
+                    if now - attempt.started >= hedge_delay:
+                        state.hedged = True
+                        outcomes[state.qi].hedges += 1
+                        launch(state, hedge=True)
+            # Next timer: earliest deadline / retry / hedge trigger.
+            timers: List[float] = []
+            for qi, query_states in enumerate(by_query):
+                if deadline_at[qi] < math.inf and any(
+                    not s.resolved for s in query_states
+                ):
+                    timers.append(deadline_at[qi])
+            for state in states:
+                if not state.resolved and state.retry_due is not None:
+                    timers.append(state.retry_due)
+            if hedge_delay is not None:
+                for attempt in attempts.values():
+                    if not attempt.state.resolved and not attempt.state.hedged:
+                        if not attempt.hedge:
+                            timers.append(attempt.started + hedge_delay)
+            if not attempts:
+                if any(
+                    not s.resolved and s.retry_due is not None for s in states
+                ):
+                    # Only a backoff timer stands between now and the next
+                    # attempt; sleep it out.
+                    delay = min(timers) - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                # Nothing in flight, nothing scheduled: the remaining
+                # shards are out of attempts.
+                for state in states:
+                    if not state.resolved:
+                        state.resolved = True
+                        outcomes[state.qi].failures[state.task.shard_id] = (
+                            state.last_error
+                            if state.last_error is not None
+                            else RuntimeError(
+                                f"shard {state.task.shard_id}: no attempt "
+                                "could be submitted"
+                            )
+                        )
+                break
+            timeout = max(0.0, min(timers) - time.monotonic()) if timers else None
+            done, _ = wait(set(attempts), timeout=timeout, return_when=FIRST_COMPLETED)
+            for future in done:
+                attempt = attempts.pop(future, None)
+                if attempt is None:  # pragma: no cover - defensive
+                    continue
+                state = attempt.state
+                state.live -= 1
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    handle_failure(state, attempt.task, exc)
+                else:
+                    if self._tracker is not None:
+                        self._tracker.record(time.monotonic() - attempt.started)
+                    if self._on_success is not None:
+                        self._on_success(attempt.task)
+                    if not state.resolved:
+                        state.resolved = True
+                        state.retry_due = None
+                        outcomes[state.qi].results[state.task.shard_id] = result
+        return outcomes

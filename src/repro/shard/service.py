@@ -69,10 +69,17 @@ from repro.shard.executor import (
     ShardEngineSpec,
     ShardResult,
     ShardTask,
+    ShardTaskError,
     ThreadShardExecutor,
     run_shard_task,
 )
 from repro.shard.index import ShardedGATIndex
+from repro.shard.resilience import (
+    FanoutOutcome,
+    FanoutSupervisor,
+    FaultPolicy,
+    TaskLatencyTracker,
+)
 from repro.storage.cache import CacheStats, LRUCache
 
 
@@ -149,6 +156,18 @@ class ShardedQueryService:
         across shards and invalidated on the composite index version.
     mp_context:
         Optional :mod:`multiprocessing` context for the process backend.
+    fault_policy:
+        Optional :class:`~repro.shard.resilience.FaultPolicy`.  ``None``
+        (default) keeps the historical all-or-nothing fan-out — one plain
+        ``executor.run`` per batch, any shard failure raises.  With a
+        policy, every fan-out runs under a
+        :class:`~repro.shard.resilience.FanoutSupervisor`: per-query
+        deadlines, backoff'd retries, hedged attempts (replica tier), and
+        — when ``allow_partial`` — graceful degradation to partial
+        coverage instead of raising.  Rankings are byte-identical to the
+        legacy path whenever every shard answers.  Deadlines and hedges
+        need a concurrent backend; the serial executor runs tasks inline
+        where nothing can preempt them.
     """
 
     _MISS = object()
@@ -162,6 +181,7 @@ class ShardedQueryService:
         max_workers: Optional[int] = None,
         result_cache_size: int = 1024,
         mp_context=None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
@@ -200,6 +220,11 @@ class ShardedQueryService:
         self._result_hits = 0
         self._result_lookups = 0
         self._metrics = ServingMetrics()
+        self.fault_policy = fault_policy
+        self._task_latency = TaskLatencyTracker()
+        self._task_retries = 0
+        self._task_hedges = 0
+        self._partial_responses = 0
         self._hicl_base: CacheStats = index.hicl_cache_stats()
         self._apl_base: Optional[CacheStats] = self._apl_cache_stats()
 
@@ -216,34 +241,62 @@ class ShardedQueryService:
 
     def _run_task(self, task: ShardTask) -> ShardResult:
         """In-process task runner (serial and thread backends): shard
-        tasks of one query prune against their shared merged top-k."""
+        tasks of one query prune against their shared merged top-k.
+
+        Failure contract (every backend funnels through here or through a
+        worker equivalent): the engine lease is *always* released, the
+        replica tier's health tracker hears about the outcome, and any
+        exception leaves wrapped in a :class:`ShardTaskError` naming the
+        shard, replica, and query — never as a bare traceback from
+        somewhere inside a pool.
+        """
         # _run_many mutates _shared from other threads (registering and
         # popping groups of concurrent batches), so even the read-side
         # lookup must hold the lock — an unlocked dict read races the
         # writers' rehash on free-threaded builds.
         with self._lock:
             shared = self._shared.get(task.group)
-        engine, release = self._lease_engine(task)
+        engine, release, replica = self._lease_engine(task)
         try:
             if shared is None:  # defensive: run standalone, still exact
-                return run_shard_task(engine, task)
-            return run_shard_task(
-                engine,
-                task,
-                external_threshold=shared.kth_distance,
-                result_sink=shared.offer,
-            )
+                result = run_shard_task(engine, task)
+            else:
+                result = run_shard_task(
+                    engine,
+                    task,
+                    external_threshold=shared.kth_distance,
+                    result_sink=shared.offer,
+                )
+        except Exception as exc:
+            self._note_task_outcome(task, replica, ok=False)
+            if isinstance(exc, ShardTaskError):
+                raise
+            raise ShardTaskError(task, exc, replica=replica) from exc
+        else:
+            self._note_task_outcome(task, replica, ok=True)
+            return result
         finally:
             if release is not None:
                 release()
 
     def _lease_engine(self, task: ShardTask):
         """Pick the engine an in-process task runs on: ``(engine,
-        release)`` where *release* (or ``None``) is called once the task
-        finishes.  The base service has exactly one copy of each shard;
-        the replicated tier overrides this to route the task to a replica
-        and to return the router's lease release."""
-        return self.engines[task.shard_id], None
+        release, replica)`` where *release* (or ``None``) is called once
+        the task finishes and *replica* names the copy serving it.  The
+        base service has exactly one copy of each shard; the replicated
+        tier overrides this to route the task to a replica and to return
+        the router's lease release."""
+        return self.engines[task.shard_id], None, 0
+
+    def _note_task_outcome(self, task: ShardTask, replica: int, ok: bool) -> None:
+        """Per-attempt health feedback; the replicated tier feeds its
+        routers' circuit breakers here.  No-op for the base service."""
+
+    def _reroute_task(self, task: ShardTask) -> ShardTask:
+        """Build the retry/hedge attempt for *task*.  In-process backends
+        route at execution time, so the same task object is resubmitted;
+        the replica tier's process backend leases a fresh replica."""
+        return task
 
     def _make_spec(self) -> ShardEngineSpec:
         """A picklable snapshot of the current fleet for process workers.
@@ -348,6 +401,10 @@ class ShardedQueryService:
             results=list(cached),
             stats=SearchStats(),
             latency_s=time.perf_counter() - t0,
+            # Only full-coverage responses are ever cached (partials are
+            # transient degradation, not answers worth replaying).
+            shards_answered=self.n_shards,
+            shards_total=self.n_shards,
         )
 
     def _cache_put(
@@ -404,18 +461,26 @@ class ShardedQueryService:
 
     @staticmethod
     def _merge(
-        request: QueryRequest, shard_results: Sequence[ShardResult]
+        request: QueryRequest,
+        shard_results: Sequence[ShardResult],
+        shards_total: Optional[int] = None,
     ) -> QueryResponse:
-        """k-way merge of per-shard rankings plus stats aggregation."""
+        """k-way merge of per-shard rankings plus stats aggregation.
+        *shards_total* stamps the coverage denominator when the merge is
+        (possibly) partial — the supervised path passes the fan-out
+        width; the legacy path always merges every shard."""
         collector = TopKCollector(request.k)
         for shard_result in shard_results:
             for result in shard_result.results:
                 collector.offer(result)
+        answered = len(shard_results)
         return QueryResponse(
             request=request,
             results=collector.results(),
             stats=SearchStats.merged([r.stats for r in shard_results]),
-            latency_s=max(r.latency_s for r in shard_results),
+            latency_s=max((r.latency_s for r in shard_results), default=0.0),
+            shards_answered=answered,
+            shards_total=shards_total if shards_total is not None else answered,
         )
 
     def _run_many(self, requests: Sequence[QueryRequest]) -> List[QueryResponse]:
@@ -429,25 +494,52 @@ class ShardedQueryService:
             else:
                 pending.append(i)
         if pending:
-            tasks: List[ShardTask] = []
+            fanouts: List[List[ShardTask]] = []
             groups: List[int] = []
             slots: List[Optional[int]] = []
+            # Every task whose creation took a lease (submission-routed
+            # replicas) or whose slot must go back — including tasks built
+            # before a mid-batch failure and retry/hedge attempts the
+            # supervisor adds.  Inside the try so *every* failure path
+            # releases them (a half-built batch used to leak the earlier
+            # queries' slots and leases).
+            submitted: List[ShardTask] = []
             in_process = not isinstance(self._executor, ProcessShardExecutor)
-            for i in pending:
-                group = next(self._group_ids)
-                groups.append(group)
-                slot = None
-                if in_process:
-                    with self._lock:
-                        self._shared[group] = _SharedTopK(requests[i].k)
-                else:
-                    # Process backend: lease a shared threshold slot so the
-                    # query's shard tasks prune against the fleet minimum.
-                    slot = self._executor.acquire_slot()
-                    slots.append(slot)
-                tasks.extend(self._tasks_for(requests[i], group, threshold_slot=slot))
             try:
-                results = self._executor.run(tasks)
+                for i in pending:
+                    group = next(self._group_ids)
+                    groups.append(group)
+                    slot = None
+                    if in_process:
+                        with self._lock:
+                            self._shared[group] = _SharedTopK(requests[i].k)
+                    else:
+                        # Process backend: lease a shared threshold slot so
+                        # the query's shard tasks prune against the fleet
+                        # minimum.
+                        slot = self._executor.acquire_slot()
+                        slots.append(slot)
+                    fanout = self._tasks_for(requests[i], group, threshold_slot=slot)
+                    fanouts.append(fanout)
+                    submitted.extend(fanout)
+                if self.fault_policy is None:
+                    # Legacy all-or-nothing fan-out: one flattened run,
+                    # byte-identical to the pre-supervision service.
+                    tasks = [task for fanout in fanouts for task in fanout]
+                    results = self._executor.run(tasks)
+                    n = self.n_shards
+                    for offset, i in enumerate(pending):
+                        shard_results = results[offset * n : (offset + 1) * n]
+                        response = self._merge(requests[i], shard_results)
+                        self._cache_put(requests[i], response, version)
+                        responses[i] = response
+                else:
+                    outcomes = self._supervised_fanout(fanouts, submitted)
+                    for outcome, i, fanout in zip(outcomes, pending, fanouts):
+                        response = self._assemble(requests[i], fanout, outcome)
+                        if response.complete:
+                            self._cache_put(requests[i], response, version)
+                        responses[i] = response
             finally:
                 if in_process:
                     with self._lock:
@@ -456,14 +548,68 @@ class ShardedQueryService:
                 else:
                     for slot in slots:
                         self._executor.release_slot(slot)
-                self._after_fanout(tasks)
-            n = self.n_shards
-            for offset, i in enumerate(pending):
-                shard_results = results[offset * n : (offset + 1) * n]
-                response = self._merge(requests[i], shard_results)
-                self._cache_put(requests[i], response, version)
-                responses[i] = response
+                self._after_fanout(submitted)
         return responses  # type: ignore[return-value]
+
+    def _supervised_fanout(
+        self, fanouts: List[List[ShardTask]], submitted: List[ShardTask]
+    ) -> List[FanoutOutcome]:
+        """Run the batch's fan-outs under the service's fault policy."""
+        executor = self._executor
+        in_process = not isinstance(executor, ProcessShardExecutor)
+        if in_process:
+            # Execution-time routing: retries/hedges resubmit the same
+            # task, the router picks the replica when the lease happens,
+            # and _run_task itself reports health.
+            reroute = on_success = on_failure = None
+        else:
+            reroute = self._reroute_task
+
+            def on_success(task: ShardTask) -> None:
+                self._note_task_outcome(task, task.replica, ok=True)
+
+            def on_failure(task: ShardTask, exc: BaseException) -> None:
+                self._note_task_outcome(task, task.replica, ok=False)
+
+        supervisor = FanoutSupervisor(
+            executor.submit,
+            self.fault_policy,
+            self._task_latency,
+            reroute=reroute,
+            heal=executor.heal,
+            on_submit=submitted.append,
+            on_success=on_success,
+            on_failure=on_failure,
+        )
+        outcomes = supervisor.run(fanouts)
+        with self._lock:
+            self._task_retries += sum(o.retries for o in outcomes)
+            self._task_hedges += sum(o.hedges for o in outcomes)
+        return outcomes
+
+    def _assemble(
+        self, request: QueryRequest, fanout: List[ShardTask], outcome: FanoutOutcome
+    ) -> QueryResponse:
+        """Turn one supervised fan-out into a response: a full merge when
+        every shard answered (byte-identical to the legacy path), a
+        partial-coverage merge when allowed, a contextual raise when not."""
+        answered = [
+            outcome.results[task.shard_id]
+            for task in fanout
+            if task.shard_id in outcome.results
+        ]
+        if len(answered) < len(fanout) and not self.fault_policy.allow_partial:
+            for task in fanout:
+                exc = outcome.failures.get(task.shard_id)
+                if exc is not None:
+                    if isinstance(exc, ShardTaskError):
+                        raise exc
+                    raise ShardTaskError(task, exc) from exc
+            raise RuntimeError("fan-out incomplete without a recorded failure")
+        if len(answered) < len(fanout):
+            with self._lock:
+                self._partial_responses += 1
+        return self._merge(request, answered, shards_total=len(fanout))
 
     # ------------------------------------------------------------------
     # Serving API (mirrors QueryService)
@@ -572,11 +718,17 @@ class ShardedQueryService:
             apl_rate = self._delta_hit_rate(self._apl_cache_stats(), self._apl_base)
             result_hits = self._result_hits
             result_lookups = self._result_lookups
+            task_retries = self._task_retries
+            task_hedges = self._task_hedges
+            partial_responses = self._partial_responses
         stats = self._metrics.fill(ServiceStats())
         stats.hicl_cache_hit_rate = hicl_rate
         stats.apl_cache_hit_rate = apl_rate
         stats.result_cache_hits = result_hits
         stats.result_cache_lookups = result_lookups
+        stats.task_retries = task_retries
+        stats.task_hedges = task_hedges
+        stats.partial_responses = partial_responses
         return stats
 
     def reset_stats(self) -> None:
@@ -585,5 +737,8 @@ class ShardedQueryService:
         with self._lock:
             self._result_hits = 0
             self._result_lookups = 0
+            self._task_retries = 0
+            self._task_hedges = 0
+            self._partial_responses = 0
             self._hicl_base = self._hicl_cache_stats()
             self._apl_base = self._apl_cache_stats()

@@ -112,6 +112,15 @@ class SimulatedDisk:
         knob that makes shard **replication** a real serving axis: with one
         copy of a shard there is one arm for all its readers, with N
         replicas there are N.
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector` consulted
+        once per read, after accounting and before the latency model —
+        injected errors/stalls never touch the deterministic counters,
+        they decide whether the read returns.  Faults belong to *this*
+        device only: :meth:`ShardedGATIndex.replicate` clones a disk's
+        cost model, never its injector, so a replica is a healthy copy on
+        independent hardware — exactly what failover needs to fail over
+        *to*.
     """
 
     def __init__(
@@ -119,6 +128,7 @@ class SimulatedDisk:
         page_size: int = DEFAULT_PAGE_SIZE,
         read_latency_s: float = 0.0,
         concurrent_reads: Optional[int] = None,
+        fault_injector=None,
     ) -> None:
         if page_size <= 0:
             raise ValueError("page size must be positive")
@@ -127,6 +137,7 @@ class SimulatedDisk:
         self.page_size = page_size
         self.read_latency_s = read_latency_s
         self.concurrent_reads = concurrent_reads
+        self.fault_injector = fault_injector
         self._read_gate: Optional[threading.Semaphore] = (
             threading.BoundedSemaphore(concurrent_reads)
             if concurrent_reads is not None
@@ -224,6 +235,8 @@ class SimulatedDisk:
         """
         record = self._records[key]
         self._account_read(record.n_pages, len(record.payload))
+        if self.fault_injector is not None:
+            self.fault_injector.on_read(key)
         self._pay_read_latency()
         return deserialize_obj(record.payload)
 
@@ -254,6 +267,12 @@ class SimulatedDisk:
         records = [self._records[key] for key in keys]
         for record in records:
             self._account_read(record.n_pages, len(record.payload))
+        if self.fault_injector is not None:
+            # Per-key, like len(keys) individual gets — a batch aborts on
+            # its first injected error, after all accounting (the seeks
+            # happened) and before any latency is paid.
+            for key in keys:
+                self.fault_injector.on_read(key)
         if self.read_latency_s > 0.0 and records:
             if executor is not None and len(records) > 1:
                 list(executor.map(lambda _r: self._pay_read_latency(), records))

@@ -44,6 +44,8 @@ retires it exactly once.
 
 from __future__ import annotations
 
+import os
+import secrets
 import threading
 import weakref
 from dataclasses import dataclass
@@ -57,6 +59,12 @@ from repro.model.database import TrajectoryDatabase
 
 #: Byte alignment of every array inside a segment (>= any column itemsize).
 _ALIGN = 16
+
+#: Writer segments are named ``repro-shm-<creator pid>-<hex>`` so a
+#: crashed writer's leftovers are attributable: the sweeper
+#: (:func:`cleanup_orphans`) reclaims exactly the segments whose creator
+#: pid no longer exists, and nothing else in ``/dev/shm``.
+_NAME_PREFIX = "repro-shm-"
 
 #: Serialises segment creation (which must reach the resource tracker)
 #: with attaches (whose tracker registration is suppressed — see the
@@ -113,7 +121,15 @@ def _pack(arrays: ColumnarArrays, role: str):
         offset += arr.nbytes
     size = max(1, offset)
     with _TRACKER_LOCK:
-        shm = shared_memory.SharedMemory(create=True, size=size)
+        while True:
+            candidate = f"{_NAME_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=candidate, create=True, size=size
+                )
+                break
+            except FileExistsError:  # pragma: no cover - 2^32 collision
+                continue
     for (name, off, dtype, shape), (_n, arr) in zip(layout, arrays.field_arrays()):
         view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
         view[...] = arr
@@ -145,6 +161,61 @@ def active_segments() -> List[str]:
     """Names of writer-owned segments not yet unlinked — the leak probe
     the test suite asserts empty after the shard/replica suites."""
     return sorted(_LIVE_SEGMENTS)
+
+
+#: Where POSIX shared memory lives on Linux — the sweeper's scan root.
+_SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # alive, owned by someone else
+        return True
+    return True
+
+
+def cleanup_orphans(dry_run: bool = False) -> List[str]:
+    """Unlink shared-memory segments left behind by dead store writers.
+
+    A SIGKILLed (or OOM-killed) process never runs ``close()`` or its
+    finalizer, and the resource tracker dies with the process tree — the
+    segment then sits in ``/dev/shm`` until reboot.  Every writer segment
+    embeds its creator's pid in the name (``repro-shm-<pid>-<hex>``), so
+    the sweep is precise: scan ``/dev/shm`` for this store's prefix,
+    parse the pid, and unlink exactly the segments whose creator is gone.
+    Segments of live processes — including this one's, which are also in
+    :data:`_LIVE_SEGMENTS` — are never touched, so the sweeper is safe to
+    run while a fleet is serving.
+
+    With ``dry_run`` the orphans are reported but left in place.  Returns
+    the orphaned segment names (removed, or — dry run — removable).  On
+    platforms without ``/dev/shm`` the sweep is an empty no-op.
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return []
+    orphans: List[str] = []
+    for entry in sorted(os.listdir(_SHM_DIR)):
+        if not entry.startswith(_NAME_PREFIX):
+            continue
+        if entry in _LIVE_SEGMENTS:  # ours, alive by construction
+            continue
+        pid_part = entry[len(_NAME_PREFIX) :].split("-", 1)[0]
+        try:
+            pid = int(pid_part)
+        except ValueError:
+            continue  # not a name this store wrote; leave it alone
+        if _pid_alive(pid):
+            continue
+        orphans.append(entry)
+        if not dry_run:
+            try:
+                os.unlink(os.path.join(_SHM_DIR, entry))
+            except FileNotFoundError:  # pragma: no cover - lost a race
+                pass
+    return orphans
 
 
 class SharedTrajectoryStore:

@@ -1,0 +1,21 @@
+"""Fault-suite fixtures: shared-memory leak detection.
+
+Chaos tests SIGKILL worker processes and tear serving stacks down on
+unusual paths — exactly where a forgotten ``close()`` would leave
+shared-memory segments linked.  Same autouse probe as the shard suite.
+"""
+
+import pytest
+
+from repro.storage import shm
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shared_memory():
+    before = shm.active_segments()
+    yield
+    leaked = [name for name in shm.active_segments() if name not in before]
+    assert not leaked, (
+        f"test leaked shared-memory segments {leaked}; close the owning "
+        "SharedTrajectoryStore / ShardedGATIndex before returning"
+    )

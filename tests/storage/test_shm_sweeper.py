@@ -1,0 +1,141 @@
+"""Orphaned-segment sweeper: reclaim what killed writers left behind.
+
+A SIGKILLed store writer never unlinks its segments; the sweeper scans
+``/dev/shm`` for this store's pid-stamped names and removes exactly the
+ones whose creator is dead.  Fake orphans are planted as plain files in
+``/dev/shm`` (same namespace POSIX shared memory uses) so the resource
+tracker is never involved; the dead pid comes from a reaped subprocess.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.data.generator import CheckInGenerator, GeneratorConfig
+from repro.storage import shm
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(shm._SHM_DIR), reason="needs /dev/shm (POSIX shm)"
+)
+
+
+@pytest.fixture()
+def db():
+    config = GeneratorConfig(
+        n_users=12,
+        n_venues=30,
+        vocabulary_size=40,
+        width_km=5.0,
+        height_km=5.0,
+        n_hotspots=2,
+        checkins_per_user_mean=6.0,
+        activities_per_checkin_mean=2.0,
+        seed=4242,
+    )
+    return CheckInGenerator(config).generate(name="sweeper-db")
+
+
+@pytest.fixture()
+def dead_pid():
+    """A pid guaranteed dead: a subprocess that already exited and was
+    reaped (Popen.wait), so os.kill(pid, 0) raises ProcessLookupError."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    assert not shm._pid_alive(proc.pid)
+    return proc.pid
+
+
+def _plant(name: str) -> str:
+    path = os.path.join(shm._SHM_DIR, name)
+    with open(path, "wb") as fh:
+        fh.write(b"\x00" * 16)
+    return path
+
+
+@pytest.fixture()
+def planted(request):
+    """Plant fake /dev/shm entries by name; always cleaned up."""
+    paths = []
+
+    def plant(name):
+        path = _plant(name)
+        paths.append(path)
+        return path
+
+    yield plant
+    for path in paths:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+
+def test_segment_names_embed_the_writer_pid(db):
+    with shm.SharedTrajectoryStore.for_database(db) as store:
+        prefix = f"{shm._NAME_PREFIX}{os.getpid()}-"
+        assert store.spec().base.name.startswith(prefix)
+        for name in shm.active_segments():
+            assert name.startswith(prefix)
+
+
+def test_sweeper_removes_only_dead_writers_segments(db, dead_pid, planted):
+    orphan = f"{shm._NAME_PREFIX}{dead_pid}-cafe0001"
+    orphan_path = planted(orphan)
+    with shm.SharedTrajectoryStore.for_database(db) as store:
+        removed = shm.cleanup_orphans()
+        assert orphan in removed
+        assert not os.path.exists(orphan_path)
+        # The live writer's own segments survived the sweep.
+        base = store.spec().base.name
+        assert base not in removed
+        assert os.path.exists(os.path.join(shm._SHM_DIR, base))
+
+
+def test_dry_run_reports_but_leaves_orphans(dead_pid, planted):
+    orphan = f"{shm._NAME_PREFIX}{dead_pid}-beef0002"
+    path = planted(orphan)
+    assert shm.cleanup_orphans(dry_run=True) == [orphan]
+    assert os.path.exists(path)
+    # A real sweep then reclaims it.
+    assert shm.cleanup_orphans() == [orphan]
+    assert not os.path.exists(path)
+
+
+def test_live_pid_segments_are_never_touched(planted):
+    alive = f"{shm._NAME_PREFIX}{os.getpid()}-feed0003"
+    path = planted(alive)
+    assert alive not in shm.cleanup_orphans()
+    assert os.path.exists(path)
+
+
+def test_non_pid_names_are_skipped(planted):
+    weird = f"{shm._NAME_PREFIX}notapid-dead0004"
+    path = planted(weird)
+    assert weird not in shm.cleanup_orphans()
+    assert os.path.exists(path)
+
+
+def test_unrelated_shm_entries_are_ignored(dead_pid, planted):
+    foreign = f"some-other-app-{dead_pid}"
+    path = planted(foreign)
+    assert shm.cleanup_orphans() == []
+    assert os.path.exists(path)
+
+
+def test_cli_shm_sweep_dry_run(dead_pid, planted, capsys):
+    orphan = f"{shm._NAME_PREFIX}{dead_pid}-face0005"
+    path = planted(orphan)
+    assert cli_main(["shm-sweep", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert orphan in out
+    assert "left in place" in out
+    assert os.path.exists(path)
+    assert cli_main(["shm-sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "reclaimed" in out
+    assert not os.path.exists(path)
+    assert cli_main(["shm-sweep"]) == 0
+    assert "no orphaned" in capsys.readouterr().out
