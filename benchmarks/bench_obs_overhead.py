@@ -1,0 +1,116 @@
+"""Observability overhead — instrumented-but-disabled must be ~free.
+
+The unified observability layer promises pay-for-what-you-use: a service
+built with ``Observability.disabled()`` (metrics registry live, tracer a
+:class:`~repro.obs.trace.NullTracer`) must serve within 5% of the same
+service built with no ``obs`` at all.  This benchmark measures exactly
+that contract on the concurrent :class:`QueryService` hot path:
+
+* **alternating reps** — baseline and instrumented runs interleave
+  (``A B A B ...``) so thermal drift or a noisy neighbour biases both
+  arms equally;
+* **best-of-N** — the minimum wall time per arm is the least-noise
+  estimate of the true cost (the standard microbenchmark reduction);
+* **cold result cache** — ``result_cache_size=0``, otherwise the second
+  rep would serve memoized tuples and measure nothing.
+
+The throughput ratio (disabled over baseline) is asserted ``>= 0.95``
+here and emitted as ``BENCH_obs.json`` so
+``check_bench_regressions.py`` gates it against the committed baseline.
+The emitted row also embeds the registry snapshot — the bench-integration
+path every ``BENCH_*.json`` can now use.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench.workloads import QueryWorkloadGenerator, WorkloadConfig
+from repro.core.engine import GATSearchEngine
+from repro.index.gat.index import GATIndex
+from repro.obs import Observability
+from repro.service import QueryService
+
+from conftest import bench_gat_config, bench_scale
+
+N_QUERIES = 30
+K = 8
+REPS = 4
+MAX_WORKERS = 8
+
+JSON_PATH = os.environ.get("REPRO_BENCH_OBS_JSON", "BENCH_obs.json")
+
+
+@pytest.fixture(scope="module")
+def gat_index(la_db):
+    return GATIndex.build(la_db, bench_gat_config())
+
+
+@pytest.mark.benchmark(group="observability")
+def test_disabled_observability_overhead(benchmark, la_db, gat_index):
+    gen = QueryWorkloadGenerator(la_db, WorkloadConfig(seed=bench_scale().seed))
+    queries = gen.queries(N_QUERIES)
+    report = {}
+
+    def serve_once(obs):
+        """One timed batch through a fresh service (warm-up lap first)."""
+        service = QueryService(
+            GATSearchEngine(gat_index),
+            max_workers=MAX_WORKERS,
+            result_cache_size=0,
+            obs=obs,
+        )
+        try:
+            service.search_many(queries, k=K)  # warm caches + pool
+            t0 = time.perf_counter()
+            responses = service.search_many(queries, k=K)
+            wall = time.perf_counter() - t0
+        finally:
+            service.close()
+        assert len(responses) == N_QUERIES
+        return wall
+
+    def run():
+        baseline_times = []
+        disabled_times = []
+        obs = Observability.disabled()
+        for _ in range(REPS):
+            baseline_times.append(serve_once(None))
+            disabled_times.append(serve_once(obs))
+        best_baseline = min(baseline_times)
+        best_disabled = min(disabled_times)
+        # Throughput ratio: disabled-instrumentation over uninstrumented.
+        ratio = best_baseline / best_disabled
+        report.update(
+            {
+                "n_queries": N_QUERIES,
+                "k": K,
+                "reps": REPS,
+                "max_workers": MAX_WORKERS,
+                "baseline_best_s": round(best_baseline, 6),
+                "disabled_best_s": round(best_disabled, 6),
+                "baseline_qps": round(N_QUERIES / best_baseline, 2),
+                "disabled_qps": round(N_QUERIES / best_disabled, 2),
+                "disabled_over_baseline": round(ratio, 4),
+                # The embedding path: a registry snapshot in a bench row.
+                "metrics": obs.metrics_snapshot(),
+            }
+        )
+        assert ratio >= 0.95, (
+            f"disabled observability costs more than 5% throughput "
+            f"(ratio {ratio:.3f}: baseline {best_baseline:.4f}s vs "
+            f"disabled {best_disabled:.4f}s)"
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with open(JSON_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(
+        f"\nobservability overhead ({N_QUERIES} queries × {REPS} reps, "
+        f"best-of): baseline {report['baseline_qps']} QPS, "
+        f"disabled {report['disabled_qps']} QPS, "
+        f"ratio {report['disabled_over_baseline']:.3f}"
+    )

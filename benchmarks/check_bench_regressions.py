@@ -65,6 +65,12 @@ MANIFEST = {
         "speedups.mixed-default": "higher",
         "sharded.cells_ratio": "lower",  # spatial/local over hash/global
     },
+    "BENCH_obs.json": {
+        # Pay-for-what-you-use: throughput with instrumentation present
+        # but disabled, over the uninstrumented baseline.  Same-process
+        # alternating best-of ratio, so it transfers across machines.
+        "disabled_over_baseline": "higher",
+    },
     "BENCH_faults.json": {
         # Correctness ratios of the chaos scenarios — deterministic by
         # construction (the benchmark asserts them at 1.0-style values),

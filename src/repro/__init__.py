@@ -26,7 +26,11 @@ The library implements activity-trajectory similarity search end to end:
   fleet) exercised by the seedable fault injection in
   :mod:`repro.faults`;
 * the paper's three baselines (IL, RT, IRT) over from-scratch inverted
-  lists, an R-tree and an IR-tree.
+  lists, an R-tree and an IR-tree;
+* a unified observability layer (:mod:`repro.obs`) — per-query span
+  trees, a sharded metric registry fed by the serving stack, and
+  JSONL/Prometheus exporters — attached to any service via
+  ``obs=Observability.enabled()``.
 
 Quickstart — single query
 -------------------------
@@ -82,6 +86,7 @@ from repro.shard import (
     ShardedQueryService,
     ShardRouter,
 )
+from repro.obs import Observability
 from repro.index import GATIndex, InvertedIndex, IRTree, RTree
 from repro.index.gat.index import GATConfig
 from repro.baselines import InvertedListSearch, IRTreeSearch, RTreeSearch
@@ -119,6 +124,7 @@ __all__ = [
     "ReplicatedShardedService",
     "FaultPolicy",
     "BreakerConfig",
+    "Observability",
     "InvertedIndex",
     "RTree",
     "IRTree",

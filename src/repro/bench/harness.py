@@ -32,6 +32,10 @@ class MethodTiming:
     n_queries: int = 0
     candidates: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Optional ``MetricRegistry.snapshot()`` taken after the batch when
+    #: the caller passed an :class:`~repro.obs.Observability` handle —
+    #: JSON-ready, so ``BENCH_*.json`` rows can embed it verbatim.
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def avg_seconds(self) -> float:
@@ -108,10 +112,13 @@ class ExperimentHarness:
         k: int,
         order_sensitive: bool = False,
         max_workers: int = 8,
+        obs=None,
     ) -> MethodTiming:
         """Serve the batch through a concurrent :class:`QueryService` over
         a warm-cache engine on the harness's GAT index (requires "GAT"
-        among the harness methods).
+        among the harness methods).  *obs* (an
+        :class:`~repro.obs.Observability`) rides into the service; its
+        registry snapshot lands in ``MethodTiming.metrics``.
 
         ``total_seconds`` is the batch *wall* time — concurrent queries
         overlap, so ``avg_seconds`` is the amortised per-query cost the
@@ -123,7 +130,9 @@ class ExperimentHarness:
         """
         if "GAT" not in self.searchers:
             raise ValueError('run_service_batch needs "GAT" among the methods')
-        service = QueryService(GATSearchEngine(self.gat_index), max_workers=max_workers)
+        service = QueryService(
+            GATSearchEngine(self.gat_index), max_workers=max_workers, obs=obs
+        )
         t0 = time.perf_counter()
         responses = service.search_many(queries, k=k, order_sensitive=order_sensitive)
         wall = time.perf_counter() - t0
@@ -141,6 +150,8 @@ class ExperimentHarness:
                 "apl_hit_rate": stats.apl_cache_hit_rate,
             },
         )
+        if obs is not None:
+            timing.metrics = obs.metrics_snapshot()
         return timing
 
     def run_sharded_batch(
@@ -155,6 +166,7 @@ class ExperimentHarness:
         replica_router: str = "round-robin",
         fault_policy=None,
         disk_factory=None,
+        obs=None,
     ) -> MethodTiming:
         """Serve the batch through a :class:`ShardedQueryService` over a
         fresh sharded build of the harness database — or, with
@@ -177,7 +189,9 @@ class ExperimentHarness:
         called once per shard — e.g. disks wearing a
         :class:`~repro.faults.FaultInjector`).  Resilience
         counters (retries / hedges / partial responses) ride in
-        ``extra`` whenever a policy is set.
+        ``extra`` whenever a policy is set.  *obs* (an
+        :class:`~repro.obs.Observability`) rides into the service; its
+        registry snapshot lands in ``MethodTiming.metrics``.
         """
         from concurrent.futures import ThreadPoolExecutor
 
@@ -201,10 +215,11 @@ class ExperimentHarness:
                 n_replicas=n_replicas,
                 replica_router=replica_router,
                 fault_policy=fault_policy,
+                obs=obs,
             )
         else:
             service_cm = ShardedQueryService(
-                sharded, executor=executor, fault_policy=fault_policy
+                sharded, executor=executor, fault_policy=fault_policy, obs=obs
             )
         with service_cm as service:
             t0 = time.perf_counter()
@@ -240,13 +255,16 @@ class ExperimentHarness:
             extra["complete_responses"] = float(
                 sum(1 for r in responses if r.complete)
             )
-        return MethodTiming(
+        timing = MethodTiming(
             method=method,
             total_seconds=wall,
             n_queries=len(responses),
             candidates=sum(r.stats.candidates_retrieved for r in responses),
             extra=extra,
         )
+        if obs is not None:
+            timing.metrics = obs.metrics_snapshot()
+        return timing
 
     def sweep(
         self,

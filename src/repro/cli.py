@@ -7,6 +7,10 @@ Four subcommands cover the library's end-to-end workflow:
 * ``query``    — run one ATSQ/OATSQ against a dataset file, or a whole
   workload batch through the concurrent :class:`QueryService`
   (``--batch N --workers W``);
+* ``trace``    — serve queries with the tracer on and print (or dump as
+  JSONL) the per-query span trees;
+* ``metrics``  — serve queries and print a Prometheus text-exposition
+  snapshot of the serving metrics;
 * ``sweep``    — run one of the paper's figure sweeps and print the table;
 * ``shm-sweep`` — reclaim shared-memory segments orphaned by killed
   store writers (``--dry-run`` to only report).
@@ -20,6 +24,9 @@ Usage examples::
     python -m repro.cli query la.jsonl --k 5 --batch 50 --shards 4 --executor process
     python -m repro.cli query la.jsonl --k 5 --batch 50 --shards 4 \
         --replicas 2 --deadline-ms 200 --task-retries 2 --hedge-ms 50
+    python -m repro.cli trace la.jsonl --k 5 --shards 2 --replicas 2 \
+        --task-retries 2 -o spans.jsonl
+    python -m repro.cli metrics la.jsonl --k 5 --batch 20 --shards 2
     python -m repro.cli sweep la.jsonl --figure k
     python -m repro.cli shm-sweep --dry-run
 """
@@ -76,6 +83,56 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("dataset", help=".jsonl dataset path")
 
     p_query = sub.add_parser("query", help="run one ATSQ/OATSQ")
+    _add_query_args(p_query)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run traced queries and dump the per-query span trees",
+    )
+    _add_query_args(p_trace)
+    p_trace.add_argument(
+        "-o", "--output", help="also write the spans as JSONL to this path"
+    )
+    p_trace.add_argument(
+        "--max-spans",
+        type=int,
+        default=10_000,
+        help="tracer retention bound (oldest finished spans evicted)",
+    )
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run queries and print a Prometheus text-exposition snapshot",
+    )
+    _add_query_args(p_metrics)
+
+    p_sweep = sub.add_parser("sweep", help="run a paper figure sweep")
+    p_sweep.add_argument("dataset", help=".jsonl dataset path")
+    p_sweep.add_argument(
+        "--figure",
+        choices=["k", "qpoints", "activities", "diameter"],
+        default="k",
+        help="which parameter to sweep (Figures 3-6)",
+    )
+    p_sweep.add_argument("--queries", type=int, default=3, help="queries per point")
+    p_sweep.add_argument("--order-sensitive", action="store_true")
+    p_sweep.add_argument("--seed", type=int, default=77)
+
+    p_shm = sub.add_parser(
+        "shm-sweep",
+        help="reclaim shared-memory segments orphaned by killed store writers",
+    )
+    p_shm.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report orphaned segments without unlinking them",
+    )
+    return parser
+
+
+def _add_query_args(p_query: argparse.ArgumentParser) -> None:
+    """The serving-stack flags shared by ``query``/``trace``/``metrics``
+    (they all build and drive the same stack)."""
     p_query.add_argument("dataset", help=".jsonl dataset path")
     p_query.add_argument("--k", type=int, default=9)
     p_query.add_argument("--query-points", type=int, default=4)
@@ -171,29 +228,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "sibling copy",
     )
 
-    p_sweep = sub.add_parser("sweep", help="run a paper figure sweep")
-    p_sweep.add_argument("dataset", help=".jsonl dataset path")
-    p_sweep.add_argument(
-        "--figure",
-        choices=["k", "qpoints", "activities", "diameter"],
-        default="k",
-        help="which parameter to sweep (Figures 3-6)",
-    )
-    p_sweep.add_argument("--queries", type=int, default=3, help="queries per point")
-    p_sweep.add_argument("--order-sensitive", action="store_true")
-    p_sweep.add_argument("--seed", type=int, default=77)
-
-    p_shm = sub.add_parser(
-        "shm-sweep",
-        help="reclaim shared-memory segments orphaned by killed store writers",
-    )
-    p_shm.add_argument(
-        "--dry-run",
-        action="store_true",
-        help="report orphaned segments without unlinking them",
-    )
-    return parser
-
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.preset:
@@ -251,10 +285,10 @@ def _fault_policy_from_args(args: argparse.Namespace) -> Optional[FaultPolicy]:
     )
 
 
-def _build_query_service(db, args: argparse.Namespace):
-    """The serving stack the ``query`` subcommand runs against: a plain
-    :class:`QueryService` for ``--shards 1``, a sharded fleet otherwise —
-    replicated when ``--replicas > 1``."""
+def _build_query_service(db, args: argparse.Namespace, obs=None):
+    """The serving stack the ``query``/``trace``/``metrics`` subcommands
+    run against: a plain :class:`QueryService` for ``--shards 1``, a
+    sharded fleet otherwise — replicated when ``--replicas > 1``."""
     gat_config = GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
     if _serving_stack(args)[0]:
         fault_policy = _fault_policy_from_args(args)
@@ -271,6 +305,7 @@ def _build_query_service(db, args: argparse.Namespace):
                 replica_router=args.replica_router,
                 max_workers=args.workers,  # None -> the executor's default
                 fault_policy=fault_policy,
+                obs=obs,
             )
         return ShardedQueryService(
             sharded,
@@ -278,9 +313,12 @@ def _build_query_service(db, args: argparse.Namespace):
             executor=args.executor,
             max_workers=args.workers,  # None -> the executor's default
             fault_policy=fault_policy,
+            obs=obs,
         )
     engine = GATSearchEngine(GATIndex.build(db, gat_config), kernel=args.kernel)
-    return QueryService(engine, max_workers=args.workers if args.workers else 8)
+    return QueryService(
+        engine, max_workers=args.workers if args.workers else 8, obs=obs
+    )
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -387,6 +425,84 @@ def _run_query_batch(service, workload, args: argparse.Namespace) -> int:
     return 0
 
 
+def _drive_workload(args: argparse.Namespace, obs) -> int:
+    """Shared driver for ``trace``/``metrics``: load the dataset, build
+    the serving stack with *obs* attached, and serve ``--batch`` workload
+    queries (one when the flag is unset)."""
+    db = load_database_jsonl(args.dataset)
+    service = _build_query_service(db, args, obs=obs)
+    workload = QueryWorkloadGenerator(
+        db,
+        WorkloadConfig(
+            n_query_points=args.query_points,
+            n_activities_per_point=args.activities,
+            seed=args.seed,
+        ),
+    )
+    n = args.batch if args.batch > 0 else 1
+    requests = [
+        QueryRequest(
+            q, k=args.k, order_sensitive=args.order_sensitive, explain=args.explain
+        )
+        for q in workload.queries(n)
+    ]
+    try:
+        service.search_many(requests)
+    finally:
+        service.close()
+    return n
+
+
+def _print_span_tree(spans) -> None:
+    """Render span dicts as indented per-trace trees, children under
+    parents, siblings in start order."""
+    by_parent: dict = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent_id"), []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s["start_s"], s["span_id"]))
+
+    def render(span, depth):
+        end = span.get("end_s")
+        dur = f"{(end - span['start_s']) * 1000:.2f} ms" if end else "open"
+        attrs = span.get("attrs") or {}
+        noted = ", ".join(f"{k}={v}" for k, v in attrs.items())
+        events = len(span.get("events") or ())
+        tail = f"  [{noted}]" if noted else ""
+        if events:
+            tail += f"  ({events} events)"
+        print(f"{'  ' * depth}{span['name']}  {dur}{tail}")
+        for child in by_parent.get(span["span_id"], ()):
+            render(child, depth + 1)
+
+    for root in by_parent.get(None, ()):
+        render(root, 0)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Observability, validate_spans, write_spans_jsonl
+
+    obs = Observability.enabled(max_spans=args.max_spans)
+    n = _drive_workload(args, obs)
+    payloads = [span.to_dict() for span in obs.tracer.drain()]
+    validate_spans(payloads)
+    if args.output:
+        write_spans_jsonl(args.output, payloads)
+        print(f"wrote {len(payloads)} spans to {args.output}")
+    print(f"{n} quer{'y' if n == 1 else 'ies'}, {len(payloads)} spans:")
+    _print_span_tree(payloads)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+
+    obs = Observability.disabled()  # registry only; tracing stays a no-op
+    _drive_workload(args, obs)
+    sys.stdout.write(obs.prometheus())
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     db = load_database_jsonl(args.dataset)
     scale = ExperimentScale(dataset_scale=1.0, n_queries=args.queries, seed=args.seed)
@@ -421,6 +537,8 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "query": _cmd_query,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "sweep": _cmd_sweep,
     "shm-sweep": _cmd_shm_sweep,
 }

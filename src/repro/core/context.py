@@ -93,6 +93,11 @@ class ExecutionContext:
     #: wider k-th can never reach the wider top-k, so pruning against
     #: ``min(local, external)`` loses nothing the caller cares about.
     external_threshold: Optional[Callable[[], float]] = None
+    #: Optional tracing span this execution reports into (a
+    #: :class:`repro.obs.trace.Span`).  ``None`` — the default — means no
+    #: tracing; the engine then skips every stage-timing branch, keeping
+    #: the untraced hot path free of instrumentation cost.
+    trace_span: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.results = TopKCollector(self.k)

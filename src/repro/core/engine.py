@@ -34,8 +34,11 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import List, Optional
+
+from repro.obs.trace import activate
 
 from repro.core.context import ExecutionContext, SearchStats
 from repro.core.evaluator import MatchEvaluator
@@ -288,6 +291,7 @@ class GATSearchEngine:
         filters: Optional[list] = None,
         external_threshold=None,
         result_sink=None,
+        trace_span=None,
     ) -> ExecutionContext:
         """Run one query through the staged pipeline and return its
         completed :class:`ExecutionContext` (results in ``ranked``,
@@ -304,6 +308,14 @@ class GATSearchEngine:
         beats this shard's unseen lower bound no unseen local trajectory
         can either.  With both hooks unset the behaviour is exactly the
         paper's single-index Algorithm 1.
+
+        *trace_span* (a :class:`repro.obs.trace.Span`) turns on per-stage
+        tracing: the span becomes the thread's active span for the
+        duration (so disk reads and injected faults attach to it as
+        events) and retrieve/validate/score stage children are emitted
+        under it, each covering that stage's first entry to last exit
+        with the accumulated in-stage time as a ``busy_s`` attribute.
+        ``None`` — the default — skips every instrumentation branch.
         """
         ctx = ExecutionContext(
             query=query,
@@ -312,13 +324,24 @@ class GATSearchEngine:
             explain=explain,
             evaluator=MatchEvaluator(self.metric, kernel=self.kernel),
             external_threshold=external_threshold,
+            trace_span=trace_span,
         )
         validation = ValidationStage(
             self.filter_chain(order_sensitive) if filters is None else filters
         )
+        span = trace_span
+        if span is not None:
+            # Per-stage [first_entry_s, last_exit_s, busy_s] accumulators;
+            # stage spans are emitted once after the loop, so tracing adds
+            # clock reads per round, never per-round span churn.
+            stage_clock = {
+                "retrieve": [None, 0.0, 0.0],
+                "validate": [None, 0.0, 0.0],
+                "score": [None, 0.0, 0.0],
+            }
         t0 = time.perf_counter()
 
-        with self.index.disk.track() as disk:
+        with activate(span) if span is not None else nullcontext(), self.index.disk.track() as disk:
             # Inside the tracked block: seeding the retriever reads the
             # level-1 HICL lists, which count toward this query's I/O.
             retriever = CandidateRetriever(self.index, query, ctx.stats)
@@ -329,15 +352,21 @@ class GATSearchEngine:
                 # the merged threshold (exact — see retrieve()).  The
                 # single-index path keeps the paper's unbounded rounds.
                 stop_mdist = ctx.threshold() if shared_mode else INFINITY
+                if span is not None:
+                    t_stage = time.time()
                 new_candidates = retriever.retrieve(
                     self.retrieval_batch, stop_mdist=stop_mdist
                 )
                 lower = self._lower_bound(query, retriever)
+                if span is not None:
+                    t_stage = self._stage_tick(stage_clock["retrieve"], t_stage)
                 admitted = validation.admit_batch(
                     ctx,
                     [Candidate(tid) for tid in new_candidates],
                     prefetch=self.config.batch_io,
                 )
+                if span is not None:
+                    t_stage = self._stage_tick(stage_clock["validate"], t_stage)
                 if ctx.block_scoring and admitted:
                     # Block kernel: the whole round in one scoring call —
                     # one distance evaluation, block lower bounds, early
@@ -357,6 +386,8 @@ class GATSearchEngine:
                         ctx.results.offer(result)
                         if result_sink is not None:
                             result_sink(result)
+                if span is not None:
+                    self._stage_tick(stage_clock["score"], t_stage)
                 if ctx.threshold() < lower:
                     break  # no unseen trajectory can beat the current top-k
                 if not new_candidates and retriever.exhausted:
@@ -373,8 +404,50 @@ class GATSearchEngine:
             ranked = [self._explain(ctx, r) for r in ranked]
         ctx.ranked = ranked
         ctx.latency_s = time.perf_counter() - t0
+        if span is not None:
+            self._emit_stage_spans(span, ctx, stage_clock)
         self._local.stats = ctx.stats
         return ctx
+
+    @staticmethod
+    def _stage_tick(clock: list, entered_s: float) -> float:
+        """Fold one stage visit into its ``[first, last, busy]`` clock and
+        return the exit timestamp (the next stage's entry)."""
+        now = time.time()
+        if clock[0] is None:
+            clock[0] = entered_s
+        clock[1] = now
+        clock[2] += now - entered_s
+        return now
+
+    def _emit_stage_spans(self, span, ctx: ExecutionContext, stage_clock: dict) -> None:
+        """One child span per pipeline stage, spanning that stage's first
+        entry to last exit across every round, with the stage's summed
+        in-stage time (``busy_s``) and its work counters as attributes."""
+        stats = ctx.stats
+        stage_attrs = {
+            "retrieve": {
+                "rounds": stats.rounds,
+                "cells_popped": stats.cells_popped,
+                "candidates_retrieved": stats.candidates_retrieved,
+            },
+            "validate": {
+                "tas_pruned": stats.tas_pruned,
+                "apl_pruned": stats.apl_pruned,
+                "mib_pruned": stats.mib_pruned,
+                "validated": stats.validated,
+            },
+            "score": {
+                "distance_computations": stats.distance_computations,
+            },
+        }
+        for stage in ("retrieve", "validate", "score"):
+            first, last, busy = stage_clock[stage]
+            if first is None:
+                continue
+            child = span.child(stage, attrs=dict(stage_attrs[stage], busy_s=busy))
+            child.start_s = first
+            child.end(at=last)
 
     def _lower_bound(self, query: Query, retriever: CandidateRetriever) -> float:
         if not self.use_tight_lower_bound:

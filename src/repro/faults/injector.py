@@ -37,6 +37,8 @@ import time
 from dataclasses import dataclass
 from typing import Hashable, Optional, Sequence, Union
 
+from repro.obs.trace import current_span
+
 
 class InjectedDiskError(RuntimeError):
     """A read that an active :class:`FaultInjector` decided should fail."""
@@ -115,6 +117,10 @@ class FaultInjector:
         self.errors_injected = 0
         self.stalls_injected = 0
         self.delays_injected = 0
+        #: Optional :class:`repro.obs.trace.Tracer`; when set and enabled,
+        #: each injected fault attaches a ``fault_*`` event to the
+        #: thread's active span (see :meth:`Observability.bind_disk`).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Stall control
@@ -173,6 +179,16 @@ class FaultInjector:
                     delay += rule.extra_latency_s
         # Effects happen outside the lock: a stalled or sleeping reader
         # must never block other readers' draws (or lift_stalls itself).
+        tracer = self.tracer
+        if (stall or error or delay > 0.0) and tracer is not None and tracer.enabled:
+            span = current_span()
+            if span is not None:
+                if stall:
+                    span.add_event("fault_stall", key=str(key))
+                elif error:
+                    span.add_event("fault_error", key=str(key))
+                else:
+                    span.add_event("fault_delay", key=str(key), delay_s=delay)
         if stall:
             self._stall_gate.wait(self.stall_timeout_s)
             return

@@ -1,0 +1,169 @@
+"""repro.obs — the unified observability layer.
+
+One small package gives the serving stack a single pair of primitives:
+
+* a :class:`MetricRegistry` of :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` metrics (per-thread shards, log-spaced latency
+  buckets) that the existing stats objects *feed*;
+* a :class:`Tracer` producing per-query span trees — ``query`` roots,
+  ``retrieve``/``validate``/``score`` stage spans from the engine,
+  ``shard_task`` spans carrying shard/replica/attempt/hedge/breaker
+  attributes from the fan-out, with disk reads and injected faults as
+  span events — exported as JSONL or inspected in-process;
+
+plus exporters (:func:`prometheus_text`, :func:`write_spans_jsonl`) and
+the :class:`Observability` handle that wires both into a service.
+
+Pay-for-what-you-use: ``Observability.disabled()`` carries a
+:class:`NullTracer` (every span method a no-op) and a live registry; not
+attaching an ``obs`` object at all costs a single ``is None`` check per
+query.  ``Observability.enabled()`` turns on span collection.
+
+>>> from repro.obs import Observability
+>>> obs = Observability.enabled()
+>>> service = QueryService(engine, obs=obs)           # doctest: +SKIP
+>>> service.search(q, k=5)                            # doctest: +SKIP
+>>> print(obs.prometheus())                           # doctest: +SKIP
+>>> spans = obs.tracer.drain()                        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.export import (
+    parse_prometheus_text,
+    prometheus_text,
+    read_spans_jsonl,
+    span_to_dict,
+    spans_to_jsonl,
+    validate_spans,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    nearest_rank,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current_span,
+)
+
+__all__ = [
+    "Observability",
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "nearest_rank",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_SPAN",
+    "current_span",
+    "activate",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "span_to_dict",
+    "validate_spans",
+]
+
+
+class Observability:
+    """The handle a service is constructed with: one tracer + one registry.
+
+    The registry handles the serving stack feeds are created eagerly so
+    the hot path pays cached-attribute increments, never registry
+    lookups.  Pass ``obs=None`` (every service's default) for zero
+    instrumentation, :meth:`disabled` for metrics without traces, or
+    :meth:`enabled` for both.
+    """
+
+    def __init__(self, tracer=None, registry: Optional[MetricRegistry] = None) -> None:
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._queries = reg.counter("repro_queries_total")
+        self._latency = reg.histogram("repro_query_latency_seconds")
+        self._disk_reads = reg.counter("repro_disk_reads_total")
+        self._partials = reg.counter("repro_partial_responses_total")
+        self._retries = reg.counter("repro_task_retries_total")
+        self._hedges = reg.counter("repro_task_hedges_total")
+        self._cache_hits = reg.counter("repro_result_cache_hits_total")
+        self._cache_lookups = reg.counter("repro_result_cache_lookups_total")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def enabled(cls, max_spans: int = 10_000) -> "Observability":
+        """Tracing on: spans are collected into a bounded buffer."""
+        return cls(tracer=Tracer(max_spans=max_spans))
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """Metrics only: the tracer is the no-op object (the
+        'instrumented but disabled' configuration the overhead bench
+        gates within 5% of an un-instrumented service)."""
+        return cls(tracer=NullTracer())
+
+    # -- feeding hooks (called by the services) -------------------------
+    def observe_response(self, response) -> None:
+        """Absorb one answered :class:`QueryResponse` into the metrics."""
+        self._queries.inc()
+        self._latency.observe(response.latency_s)
+        reads = response.stats.disk_reads
+        if reads:
+            self._disk_reads.inc(reads)
+        if not response.complete:
+            self._partials.inc()
+
+    def observe_fanout(self, retries: int, hedges: int) -> None:
+        if retries:
+            self._retries.inc(retries)
+        if hedges:
+            self._hedges.inc(hedges)
+
+    def observe_cache(self, hit: bool) -> None:
+        self._cache_lookups.inc()
+        if hit:
+            self._cache_hits.inc()
+
+    # -- tracer binding -------------------------------------------------
+    def bind_disk(self, disk) -> None:
+        """Attach the tracer to a :class:`SimulatedDisk` (and its fault
+        injector, if any) so reads and injected faults surface as events
+        on the active span."""
+        disk.tracer = self.tracer
+        injector = getattr(disk, "fault_injector", None)
+        if injector is not None:
+            injector.tracer = self.tracer
+
+    def bind_index(self, index) -> None:
+        """Bind every disk reachable from a :class:`GATIndex`, a
+        :class:`ShardedGATIndex`, or any nesting of shard lists."""
+        shards = getattr(index, "shards", None)
+        if shards is not None:
+            for shard in shards:
+                self.bind_index(shard)
+            return
+        disk = getattr(index, "disk", None)
+        if disk is not None:
+            self.bind_disk(disk)
+
+    # -- export ---------------------------------------------------------
+    def prometheus(self) -> str:
+        """The registry as a Prometheus text-exposition snapshot."""
+        return prometheus_text(self.registry)
+
+    def metrics_snapshot(self) -> dict:
+        """The registry as a plain dict (``BENCH_*.json`` embedding)."""
+        return self.registry.snapshot()

@@ -27,7 +27,6 @@ injects a realistic read latency to show the >1.5× batched speedup.
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 from collections import deque
@@ -39,6 +38,7 @@ from repro.core.context import SearchStats
 from repro.core.engine import GATSearchEngine
 from repro.core.query import Query
 from repro.core.results import SearchResult
+from repro.obs.metrics import nearest_rank
 from repro.storage.cache import CacheStats, LRUCache
 
 #: Latency percentiles are computed over the most recent window of
@@ -105,6 +105,7 @@ class ServiceStats:
     wall_seconds: float = 0.0
     latency_p50_s: float = 0.0
     latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
     latency_mean_s: float = 0.0
     hicl_cache_hit_rate: float = 0.0
     apl_cache_hit_rate: float = 0.0
@@ -118,6 +119,13 @@ class ServiceStats:
     task_retries: int = 0
     task_hedges: int = 0
     partial_responses: int = 0
+    #: Circuit-breaker activity (replicated services only; always zero
+    #: elsewhere): replica ejections, restores to the healthy pool, and
+    #: probation probes — deltas since construction/``reset_stats`` like
+    #: every other field here.
+    breaker_ejections: int = 0
+    breaker_restores: int = 0
+    breaker_probes: int = 0
 
     @property
     def qps(self) -> float:
@@ -133,11 +141,14 @@ class ServiceStats:
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sequence."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(q * len(sorted_values)))
-    return sorted_values[rank - 1]
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    Thin alias over :func:`repro.obs.metrics.nearest_rank` — kept so the
+    serving layer and the fault supervisor's
+    :meth:`~repro.shard.resilience.TaskLatencyTracker.quantile` share one
+    quantile definition instead of two divergent implementations.
+    """
+    return nearest_rank(sorted_values, q)
 
 
 def as_request(item: Union[QueryRequest, Query], **defaults) -> QueryRequest:
@@ -191,6 +202,9 @@ class ServingMetrics:
         "_disk_reads",
         "_busy_depth",
         "_busy_since",
+        "_generation",
+        "_sorted_gen",
+        "_sorted_window",
     )
 
     def __init__(self) -> None:
@@ -202,6 +216,13 @@ class ServingMetrics:
         self._disk_reads = 0
         self._busy_depth = 0
         self._busy_since = 0.0
+        # Window generation counter + the sorted window it last produced:
+        # stats() used to re-sort the full latency window on *every* poll;
+        # now a poll between recordings reuses the memoized sort and only
+        # a moved window pays O(n log n) again.
+        self._generation = 0
+        self._sorted_gen = -1
+        self._sorted_window: List[float] = []
 
     def enter_busy(self) -> None:
         with self._lock:
@@ -223,6 +244,7 @@ class ServingMetrics:
                 self._n_queries += 1
                 self._latency_sum += latency_s
                 self._disk_reads += disk_reads
+                self._generation += 1
 
     def reset(self) -> None:
         with self._lock:
@@ -231,6 +253,7 @@ class ServingMetrics:
             self._latency_sum = 0.0
             self._wall_seconds = 0.0
             self._disk_reads = 0
+            self._generation += 1
             # Queries may be in flight while stats are being zeroed: the
             # open busy interval must restart *now*, or the first
             # exit_busy() after the reset would fold the entire pre-reset
@@ -241,15 +264,19 @@ class ServingMetrics:
     def fill(self, stats: ServiceStats) -> ServiceStats:
         """Write the timing/volume fields into *stats* and return it."""
         with self._lock:
-            latencies = sorted(self._latencies)
+            if self._sorted_gen != self._generation:
+                self._sorted_window = sorted(self._latencies)
+                self._sorted_gen = self._generation
+            latencies = self._sorted_window
             stats.queries = self._n_queries
             stats.wall_seconds = self._wall_seconds
             stats.latency_mean_s = (
                 self._latency_sum / self._n_queries if self._n_queries else 0.0
             )
             stats.disk_reads = self._disk_reads
-        stats.latency_p50_s = _percentile(latencies, 0.50)
-        stats.latency_p95_s = _percentile(latencies, 0.95)
+        stats.latency_p50_s = nearest_rank(latencies, 0.50)
+        stats.latency_p95_s = nearest_rank(latencies, 0.95)
+        stats.latency_p99_s = nearest_rank(latencies, 0.99)
         return stats
 
 
@@ -270,6 +297,12 @@ class QueryService:
         :meth:`~repro.index.gat.index.GATIndex.insert_trajectory` bumps
         the index's version counter (inserts must still quiesce the
         service, as the index requires).  ``0`` disables the cache.
+    obs:
+        An optional :class:`~repro.obs.Observability` handle.  When set,
+        every answered query feeds the metric registry, the engine's
+        disks report read events, and — if the handle's tracer is enabled
+        — each request produces a ``query`` span tree.  ``None`` (the
+        default) keeps the serving path free of instrumentation.
     """
 
     #: Sentinel distinguishing "cached empty result" from "cache miss".
@@ -280,12 +313,16 @@ class QueryService:
         engine: GATSearchEngine,
         max_workers: int = 8,
         result_cache_size: int = 1024,
+        obs=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if result_cache_size < 0:
             raise ValueError("result_cache_size must be >= 0")
         self.engine = engine
+        self.obs = obs
+        if obs is not None:
+            obs.bind_index(engine.index)
         self.max_workers = max_workers
         self._result_cache: Optional[LRUCache] = (
             LRUCache(result_cache_size) if result_cache_size > 0 else None
@@ -318,6 +355,13 @@ class QueryService:
                     self._index_version = version
 
     def _run_one(self, request: QueryRequest) -> QueryResponse:
+        obs = self.obs
+        span = None
+        if obs is not None and obs.tracer.enabled:
+            span = obs.tracer.start_span(
+                "query",
+                attrs={"k": request.k, "order_sensitive": request.order_sensitive},
+            )
         cache = self._result_cache
         key = None
         looked_up_version = None
@@ -332,7 +376,12 @@ class QueryService:
                 self._result_lookups += 1
                 if hit:
                     self._result_hits += 1
+            if obs is not None:
+                obs.observe_cache(hit)
             if hit:
+                if span is not None:
+                    span.set_attr("cache_hit", True)
+                    span.end()
                 # A fresh list per response (callers may mutate), zeroed
                 # counters (no engine work happened).
                 return QueryResponse(
@@ -341,12 +390,19 @@ class QueryService:
                     stats=SearchStats(),
                     latency_s=time.perf_counter() - t0,
                 )
-        ctx = self.engine.execute(
-            request.query,
-            request.k,
-            order_sensitive=request.order_sensitive,
-            explain=request.explain,
-        )
+        try:
+            ctx = self.engine.execute(
+                request.query,
+                request.k,
+                order_sensitive=request.order_sensitive,
+                explain=request.explain,
+                trace_span=span,
+            )
+        except BaseException as exc:
+            if span is not None:
+                span.set_attr("error", repr(exc))
+                span.end()
+            raise
         results = ctx.ranked if ctx.ranked is not None else []
         if cache is not None:
             # Version-guarded put: an insert that landed while this query
@@ -357,6 +413,13 @@ class QueryService:
             with self._lock:
                 if self._index_version == looked_up_version:
                     cache.put(key, tuple(results))
+        if span is not None:
+            span.set_attrs(
+                latency_s=ctx.latency_s,
+                disk_reads=ctx.stats.disk_reads,
+                rounds=ctx.stats.rounds,
+            )
+            span.end()
         return QueryResponse(
             request=request,
             results=results,
@@ -371,7 +434,14 @@ class QueryService:
         self._metrics.exit_busy()
 
     def _record(self, responses: Iterable[QueryResponse]) -> None:
+        responses = (
+            responses if isinstance(responses, (list, tuple)) else list(responses)
+        )
         self._metrics.record((r.latency_s, r.stats.disk_reads) for r in responses)
+        obs = self.obs
+        if obs is not None:
+            for response in responses:
+                obs.observe_response(response)
 
     _as_request = staticmethod(as_request)
 

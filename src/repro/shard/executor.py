@@ -82,6 +82,15 @@ class ShardTask:
     independent physical copy (own engines, own disks), so the replica
     tier sizes the pool to ``n_shards × n_replicas`` workers rather than
     duplicating engines inside each worker.
+
+    Observability fields: ``trace`` asks the runner (in-process or a
+    process-fleet worker) to build a ``shard_task`` span for this task —
+    worker-side spans ride home serialized in :attr:`ShardResult.spans`
+    and are re-parented under the query root.  ``attempt`` counts prior
+    failures of this fan-out slot (0 = first launch) and ``hedge`` marks
+    a speculative duplicate; both are stamped by the
+    :class:`~repro.shard.resilience.FanoutSupervisor` at launch time so
+    the span of whichever attempt *wins* says which attempt it was.
     """
 
     shard_id: int
@@ -92,6 +101,9 @@ class ShardTask:
     group: int = 0
     threshold_slot: Optional[int] = None
     replica: int = 0
+    trace: bool = False
+    attempt: int = 0
+    hedge: bool = False
 
 
 @dataclass(slots=True)
@@ -104,6 +116,11 @@ class ShardResult:
     results: Tuple[SearchResult, ...]
     stats: SearchStats
     latency_s: float
+    #: Serialized spans (``Span.to_dict`` payloads) recorded while running
+    #: this task — only populated when the task asked for tracing
+    #: (``ShardTask.trace``) and the runner was a process-fleet worker;
+    #: in-process runners file spans directly with the service's tracer.
+    spans: Tuple[dict, ...] = ()
 
 
 ShardRunner = Callable[[ShardTask], ShardResult]
@@ -232,11 +249,14 @@ def run_shard_task(
     task: ShardTask,
     external_threshold=None,
     result_sink=None,
+    trace_span=None,
 ) -> ShardResult:
     """Execute one shard task against *engine* — the single code path every
     backend funnels through, in-process or in a worker.  The optional
     hooks carry the cross-shard merged-top-k (see
-    :meth:`GATSearchEngine.execute`); process workers run without them."""
+    :meth:`GATSearchEngine.execute`); process workers run without them.
+    *trace_span* is the ``shard_task`` span the engine reports its stage
+    spans and disk events into (``None`` = untraced)."""
     ctx = engine.execute(
         task.query,
         task.k,
@@ -244,6 +264,7 @@ def run_shard_task(
         explain=task.explain,
         external_threshold=external_threshold,
         result_sink=result_sink,
+        trace_span=trace_span,
     )
     return ShardResult(
         shard_id=task.shard_id,
@@ -324,14 +345,50 @@ def _worker_search(task: ShardTask) -> ShardResult:
             _WORKER_SPEC, task.shard_id
         )
     if task.threshold_slot is None or task.threshold_slot >= len(_WORKER_SLOTS):
-        return run_shard_task(engine, task)
-    shared = _SlotThreshold(_WORKER_SLOTS[task.threshold_slot], task.k)
-    return run_shard_task(
-        engine,
-        task,
-        external_threshold=shared.threshold,
-        result_sink=shared.offer,
+        external_threshold = result_sink = None
+    else:
+        shared = _SlotThreshold(_WORKER_SLOTS[task.threshold_slot], task.k)
+        external_threshold = shared.threshold
+        result_sink = shared.offer
+    if not task.trace:
+        return run_shard_task(
+            engine, task, external_threshold=external_threshold, result_sink=result_sink
+        )
+    # Traced: a throwaway worker-local tracer collects this task's span
+    # tree (shard_task root + engine stage children + disk events); the
+    # spans ride home as plain dicts in ShardResult.spans and the parent
+    # re-parents them under the query root (Tracer.adopt).  The disk
+    # tracer binding is per-call because the same worker serves traced
+    # and untraced tasks alike.
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(max_spans=256)
+    span = tracer.start_span(
+        "shard_task",
+        attrs={
+            "shard": task.shard_id,
+            "replica": task.replica,
+            "attempt": task.attempt,
+            "hedge": task.hedge,
+            "pid": os.getpid(),
+        },
     )
+    disk = engine.index.disk
+    prev_tracer = disk.tracer
+    disk.tracer = tracer
+    try:
+        result = run_shard_task(
+            engine,
+            task,
+            external_threshold=external_threshold,
+            result_sink=result_sink,
+            trace_span=span,
+        )
+    finally:
+        disk.tracer = prev_tracer
+        span.end()
+    result.spans = tuple(s.to_dict() for s in tracer.drain())
+    return result
 
 
 # ----------------------------------------------------------------------

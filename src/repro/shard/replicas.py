@@ -303,6 +303,15 @@ class ReplicaRouter:
         with self._lock:
             return self.health.state(shard_id, replica)
 
+    def health_counters(self) -> Tuple[int, int, int]:
+        """One consistent ``(ejections, restores, probes)`` snapshot of
+        the breaker's lifetime counters, read under the router lock.  The
+        serving tier diffs these against a reset-time baseline — the
+        counters themselves are monotonic and never rewind."""
+        with self._lock:
+            health = self.health
+            return (health.ejections, health.restores, health.probes)
+
     def in_flight(self, shard_id: int) -> Tuple[int, ...]:
         """Current per-replica in-flight depths of one shard."""
         with self._lock:
@@ -466,6 +475,7 @@ class ReplicatedShardedService(ShardedQueryService):
         mp_context=None,
         fault_policy: Optional[FaultPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
+        obs=None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
@@ -518,7 +528,13 @@ class ReplicatedShardedService(ShardedQueryService):
             result_cache_size=result_cache_size,
             mp_context=mp_context,
             fault_policy=fault_policy,
+            obs=obs,
         )
+        # Breaker counters are monotonic on ReplicaHealth; stats() diffs
+        # them against this reset-time baseline so reset_stats() actually
+        # zeroes the reported trip counts (satellite: counters must not
+        # survive a reset).
+        self._breaker_base: Tuple[int, int, int] = (0, 0, 0)
         # The process backend keeps its replicas worker-side; building
         # in-process banks there would double memory for engines nothing
         # would ever run on.
@@ -555,6 +571,13 @@ class ReplicatedShardedService(ShardedQueryService):
                 ]
             )
         self._banks = banks
+        if self.obs is not None:
+            # Replica-bank disks must report into the same tracer as the
+            # primaries (bank 0 aliases the primary engines, which
+            # bind_index already covered).
+            for replica_set in self._replica_indexes:
+                for shard in replica_set:
+                    self.obs.bind_disk(shard.disk)
 
     def _resync_banks(self) -> None:
         """Rebuild the replica banks after the primary mutated (inserts
@@ -674,11 +697,29 @@ class ReplicatedShardedService(ShardedQueryService):
         # report hit rates outside [0, 1].  Lock order everywhere is
         # _bank_lock → _lock, so this cannot deadlock.
         with self._bank_lock:
-            return super().stats()
+            stats = super().stats()
+            ejections, restores, probes = self.router.health_counters()
+            base = self._breaker_base
+            stats.breaker_ejections = ejections - base[0]
+            stats.breaker_restores = restores - base[1]
+            stats.breaker_probes = probes - base[2]
+            return stats
 
     def reset_stats(self) -> None:
         with self._bank_lock:
             super().reset_stats()
+            self._breaker_base = self.router.health_counters()
+
+    def _task_breaker_state(self, shard_id, replica) -> Optional[str]:
+        """Breaker state for a shard-task span's attributes.  Tolerant of
+        malformed/missing attrs on adopted worker spans — observability
+        must never take a query down."""
+        if shard_id is None or replica is None:
+            return None
+        try:
+            return self.router.replica_state(shard_id, replica)
+        except (IndexError, TypeError):
+            return None
 
     def _all_engines(self) -> List[GATSearchEngine]:
         banks = self._banks

@@ -47,8 +47,10 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.obs.metrics import nearest_rank
 from repro.shard.executor import ShardResult, ShardTask
 
 #: Hedge delays below this would fire backup leases faster than the pool
@@ -123,13 +125,14 @@ class TaskLatencyTracker:
             return len(self._window)
 
     def quantile(self, q: float) -> Optional[float]:
-        """Nearest-rank quantile over the window; ``None`` when empty."""
+        """Nearest-rank quantile over the window; ``None`` when empty.
+        Delegates to :func:`repro.obs.metrics.nearest_rank` — the one
+        quantile definition shared with ``ServingMetrics``."""
         with self._lock:
             values = sorted(self._window)
         if not values:
             return None
-        rank = max(1, math.ceil(q * len(values)))
-        return values[rank - 1]
+        return nearest_rank(values, q)
 
 
 @dataclass
@@ -264,9 +267,15 @@ class FanoutSupervisor:
 
         def launch(state: _ShardState, *, first: bool = False, hedge: bool = False) -> None:
             task = state.task
-            if not first and self._reroute is not None:
-                task = self._reroute(task)
-                if self._on_submit is not None:
+            if not first:
+                rerouted = self._reroute is not None
+                if rerouted:
+                    task = self._reroute(task)
+                # Stamp the attempt ordinal and hedge flag so the span of
+                # whichever attempt wins says which attempt it was (both
+                # fields are trace metadata — no backend keys on them).
+                task = dc_replace(task, attempt=state.failures, hedge=hedge)
+                if rerouted and self._on_submit is not None:
                     self._on_submit(task)
             try:
                 future = self._submit(task)

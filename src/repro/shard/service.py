@@ -168,6 +168,15 @@ class ShardedQueryService:
         legacy path whenever every shard answers.  Deadlines and hedges
         need a concurrent backend; the serial executor runs tasks inline
         where nothing can preempt them.
+    obs:
+        An optional :class:`~repro.obs.Observability` handle.  Metrics:
+        every answered query feeds the registry.  Traces (handle with an
+        enabled tracer): each request gets a ``query`` root span with one
+        ``shard_task`` child per attempt — in-process attempts span
+        directly (shard/replica/attempt/hedge/breaker attributes, disk
+        and fault events), process-fleet attempts record spans worker-side
+        and ship them home in :attr:`ShardResult.spans` for re-parenting
+        under the root.  ``None`` (default) = no instrumentation.
     """
 
     _MISS = object()
@@ -182,6 +191,7 @@ class ShardedQueryService:
         result_cache_size: int = 1024,
         mp_context=None,
         fault_policy: Optional[FaultPolicy] = None,
+        obs=None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
@@ -191,6 +201,9 @@ class ShardedQueryService:
             raise ValueError("result_cache_size must be >= 0")
         self.index = index
         self.metric = metric
+        self.obs = obs
+        if obs is not None:
+            obs.bind_index(index)
         self.engine_config = (
             engine_config if engine_config is not None else EngineConfig()
         )
@@ -215,6 +228,11 @@ class ShardedQueryService:
         # (thread/serial backends; the process backend shares thresholds
         # through leased multiprocessing.Value slots instead).
         self._shared: Dict[int, _SharedTopK] = {}
+        # Per-in-flight-query "query" root spans, keyed by task group
+        # (group ids are unique across concurrent batches, so no reuse
+        # races); shard-task spans parent here from worker threads, and
+        # process-fleet spans are adopted under it after the fan-out.
+        self._trace_roots: Dict[int, object] = {}
         self._group_ids = itertools.count(1)
         self._index_version: Tuple[int, ...] = index.version
         self._result_hits = 0
@@ -250,24 +268,42 @@ class ShardedQueryService:
         shard, replica, and query — never as a bare traceback from
         somewhere inside a pool.
         """
+        obs = self.obs
+        tracing = obs is not None and obs.tracer.enabled
         # _run_many mutates _shared from other threads (registering and
         # popping groups of concurrent batches), so even the read-side
         # lookup must hold the lock — an unlocked dict read races the
         # writers' rehash on free-threaded builds.
         with self._lock:
             shared = self._shared.get(task.group)
+            root = self._trace_roots.get(task.group) if tracing else None
         engine, release, replica = self._lease_engine(task)
+        span = None
+        if tracing:
+            attrs = {
+                "shard": task.shard_id,
+                "replica": replica,
+                "attempt": task.attempt,
+                "hedge": task.hedge,
+            }
+            breaker = self._task_breaker_state(task.shard_id, replica)
+            if breaker is not None:
+                attrs["breaker"] = breaker
+            span = obs.tracer.start_span("shard_task", parent=root, attrs=attrs)
         try:
             if shared is None:  # defensive: run standalone, still exact
-                result = run_shard_task(engine, task)
+                result = run_shard_task(engine, task, trace_span=span)
             else:
                 result = run_shard_task(
                     engine,
                     task,
                     external_threshold=shared.kth_distance,
                     result_sink=shared.offer,
+                    trace_span=span,
                 )
         except Exception as exc:
+            if span is not None:
+                span.set_attr("error", f"{type(exc).__name__}: {exc}")
             self._note_task_outcome(task, replica, ok=False)
             if isinstance(exc, ShardTaskError):
                 raise
@@ -276,6 +312,8 @@ class ShardedQueryService:
             self._note_task_outcome(task, replica, ok=True)
             return result
         finally:
+            if span is not None:
+                span.end()
             if release is not None:
                 release()
 
@@ -291,6 +329,13 @@ class ShardedQueryService:
     def _note_task_outcome(self, task: ShardTask, replica: int, ok: bool) -> None:
         """Per-attempt health feedback; the replicated tier feeds its
         routers' circuit breakers here.  No-op for the base service."""
+
+    def _task_breaker_state(self, shard_id, replica) -> Optional[str]:
+        """Circuit-breaker state of the (shard, replica) pair serving a
+        task — trace metadata stamped onto ``shard_task`` spans.  The base
+        service has no breakers; the replica tier reports its router's
+        view (``closed`` / ``open`` / ``probing``)."""
+        return None
 
     def _reroute_task(self, task: ShardTask) -> ShardTask:
         """Build the retry/hedge attempt for *task*.  In-process backends
@@ -394,6 +439,8 @@ class ShardedQueryService:
             self._result_lookups += 1
             if hit:
                 self._result_hits += 1
+        if self.obs is not None:
+            self.obs.observe_cache(hit)
         if not hit:
             return None
         return QueryResponse(
@@ -441,6 +488,14 @@ class ShardedQueryService:
             range(self.n_shards),
             key=lambda sid: math.hypot(centroids[sid][0] - qx, centroids[sid][1] - qy),
         )
+        # Only process-fleet tasks carry the trace flag: a worker cannot
+        # reach the parent's tracer, so it must be asked to record spans
+        # and ship them home.  In-process attempts span in _run_task.
+        trace = (
+            self.obs is not None
+            and self.obs.tracer.enabled
+            and isinstance(self._executor, ProcessShardExecutor)
+        )
         return [
             ShardTask(
                 shard_id=sid,
@@ -450,6 +505,7 @@ class ShardedQueryService:
                 explain=request.explain,
                 group=group,
                 threshold_slot=threshold_slot,
+                trace=trace,
             )
             for sid in order
         ]
@@ -505,10 +561,22 @@ class ShardedQueryService:
             # queries' slots and leases).
             submitted: List[ShardTask] = []
             in_process = not isinstance(self._executor, ProcessShardExecutor)
+            tracing = self.obs is not None and self.obs.tracer.enabled
             try:
                 for i in pending:
                     group = next(self._group_ids)
                     groups.append(group)
+                    if tracing:
+                        root = self.obs.tracer.start_span(
+                            "query",
+                            attrs={
+                                "k": requests[i].k,
+                                "shards": self.n_shards,
+                                "group": group,
+                            },
+                        )
+                        with self._lock:
+                            self._trace_roots[group] = root
                     slot = None
                     if in_process:
                         with self._lock:
@@ -530,16 +598,26 @@ class ShardedQueryService:
                     n = self.n_shards
                     for offset, i in enumerate(pending):
                         shard_results = results[offset * n : (offset + 1) * n]
+                        if tracing:
+                            self._adopt_worker_spans(groups[offset], shard_results)
                         response = self._merge(requests[i], shard_results)
                         self._cache_put(requests[i], response, version)
                         responses[i] = response
+                        if tracing:
+                            self._end_trace_root(groups[offset], response)
                 else:
                     outcomes = self._supervised_fanout(fanouts, submitted)
                     for outcome, i, fanout in zip(outcomes, pending, fanouts):
+                        if tracing:
+                            self._adopt_worker_spans(
+                                fanout[0].group, list(outcome.results.values())
+                            )
                         response = self._assemble(requests[i], fanout, outcome)
                         if response.complete:
                             self._cache_put(requests[i], response, version)
                         responses[i] = response
+                        if tracing:
+                            self._end_trace_root(fanout[0].group, response)
             finally:
                 if in_process:
                     with self._lock:
@@ -548,8 +626,58 @@ class ShardedQueryService:
                 else:
                     for slot in slots:
                         self._executor.release_slot(slot)
+                if tracing:
+                    # Roots still registered here belong to queries that
+                    # died mid-fan-out; end them so the trace buffer never
+                    # accumulates open spans.
+                    with self._lock:
+                        leftovers = [
+                            self._trace_roots.pop(group, None) for group in groups
+                        ]
+                    for root in leftovers:
+                        if root is not None:
+                            root.set_attr("error", True)
+                            root.end()
                 self._after_fanout(submitted)
         return responses  # type: ignore[return-value]
+
+    def _adopt_worker_spans(
+        self, group: int, shard_results: Sequence[ShardResult]
+    ) -> None:
+        """Re-parent spans recorded inside fleet workers under this
+        query's root span.  Breaker state is stamped here, parent-side:
+        the worker cannot see the router, and the adoption moment is the
+        first time both the span and the breaker live in one process."""
+        with self._lock:
+            root = self._trace_roots.get(group)
+        payloads: List[dict] = []
+        for result in shard_results:
+            payloads.extend(result.spans)
+        if not payloads:
+            return
+        for span in self.obs.tracer.adopt(payloads, root):
+            if span.name != "shard_task":
+                continue
+            breaker = self._task_breaker_state(
+                span.attrs.get("shard"), span.attrs.get("replica")
+            )
+            if breaker is not None:
+                span.set_attr("breaker", breaker)
+
+    def _end_trace_root(self, group: int, response: QueryResponse) -> None:
+        """Close one query's root span with its response-level attributes
+        and deregister it (idempotent per group)."""
+        with self._lock:
+            root = self._trace_roots.pop(group, None)
+        if root is None:
+            return
+        root.set_attrs(
+            latency_s=response.latency_s,
+            shards_answered=response.shards_answered,
+            shards_total=response.shards_total,
+            complete=response.complete,
+        )
+        root.end()
 
     def _supervised_fanout(
         self, fanouts: List[List[ShardTask]], submitted: List[ShardTask]
@@ -582,9 +710,13 @@ class ShardedQueryService:
             on_failure=on_failure,
         )
         outcomes = supervisor.run(fanouts)
+        retries = sum(o.retries for o in outcomes)
+        hedges = sum(o.hedges for o in outcomes)
         with self._lock:
-            self._task_retries += sum(o.retries for o in outcomes)
-            self._task_hedges += sum(o.hedges for o in outcomes)
+            self._task_retries += retries
+            self._task_hedges += hedges
+        if self.obs is not None:
+            self.obs.observe_fanout(retries, hedges)
         return outcomes
 
     def _assemble(
@@ -633,6 +765,8 @@ class ShardedQueryService:
         finally:
             self._metrics.exit_busy()
         self._metrics.record([(response.latency_s, response.stats.disk_reads)])
+        if self.obs is not None:
+            self.obs.observe_response(response)
         return response
 
     def search_many(
@@ -664,6 +798,9 @@ class ShardedQueryService:
         self._metrics.record(
             (r.latency_s, r.stats.disk_reads) for r in responses
         )
+        if self.obs is not None:
+            for response in responses:
+                self.obs.observe_response(response)
         return responses
 
     def close(self) -> None:

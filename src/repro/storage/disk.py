@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterator, List, Optional
 
+from repro.obs.trace import current_span
 from repro.storage.serialization import deserialize_obj, serialize_obj
 
 DEFAULT_PAGE_SIZE = 4096
@@ -147,6 +148,11 @@ class SimulatedDisk:
         self._records: Dict[Hashable, _Record] = {}
         self._stats_lock = threading.Lock()
         self._local = threading.local()
+        #: Optional :class:`repro.obs.trace.Tracer`; when set and enabled,
+        #: each read attaches a ``disk_read`` event to the thread's active
+        #: span (see :meth:`Observability.bind_disk`).  ``None`` keeps the
+        #: read path at one attribute load of overhead.
+        self.tracer = None
 
     def _pay_read_latency(self, n_reads: int = 1) -> None:
         """Sleep out *n_reads* worth of read latency, queueing on the
@@ -235,6 +241,11 @@ class SimulatedDisk:
         """
         record = self._records[key]
         self._account_read(record.n_pages, len(record.payload))
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            span = current_span()
+            if span is not None:
+                span.add_event("disk_read", key=str(key), pages=record.n_pages)
         if self.fault_injector is not None:
             self.fault_injector.on_read(key)
         self._pay_read_latency()
@@ -267,6 +278,17 @@ class SimulatedDisk:
         records = [self._records[key] for key in keys]
         for record in records:
             self._account_read(record.n_pages, len(record.payload))
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            span = current_span()
+            if span is not None:
+                # One event per grouped round, not per key — events are
+                # bounded per span, and the batch is the I/O unit here.
+                span.add_event(
+                    "disk_read_batch",
+                    n=len(records),
+                    pages=sum(r.n_pages for r in records),
+                )
         if self.fault_injector is not None:
             # Per-key, like len(keys) individual gets — a batch aborts on
             # its first injected error, after all accounting (the seeks

@@ -134,6 +134,77 @@ class TestSweep:
             main(["sweep", str(dataset_path), "--figure", "nope"])
 
 
+class TestTrace:
+    def test_single_query_prints_a_span_tree(self, dataset_path, capsys):
+        code = main(
+            [
+                "trace", str(dataset_path),
+                "--k", "3",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 query," in out
+        # The tree renders the query root with its stage children indented.
+        assert "query " in out
+        for stage in ("retrieve", "validate", "score"):
+            assert f"  {stage}" in out
+
+    def test_sharded_trace_dumps_validating_jsonl(
+        self, dataset_path, tmp_path, capsys
+    ):
+        from repro.obs import read_spans_jsonl, validate_spans
+
+        spans_path = tmp_path / "spans.jsonl"
+        code = main(
+            [
+                "trace", str(dataset_path),
+                "--k", "3",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+                "--batch", "2",
+                "--shards", "2",
+                "--replicas", "2",
+                "-o", str(spans_path),
+            ]
+        )
+        assert code == 0
+        assert f"wrote" in capsys.readouterr().out
+        records = validate_spans(read_spans_jsonl(spans_path))
+        roots = [r for r in records if r["parent_id"] is None]
+        assert len(roots) == 2 and all(r["name"] == "query" for r in roots)
+        shard_tasks = [r for r in records if r["name"] == "shard_task"]
+        assert len(shard_tasks) >= 4  # 2 queries x 2 shards
+        for rec in shard_tasks:
+            assert {"shard", "replica", "attempt", "hedge"} <= set(rec["attrs"])
+
+
+class TestMetrics:
+    def test_prometheus_snapshot_parses(self, dataset_path, capsys):
+        from repro.obs import parse_prometheus_text
+
+        code = main(
+            [
+                "metrics", str(dataset_path),
+                "--k", "3",
+                "--query-points", "2",
+                "--activities", "1",
+                "--depth", "4",
+                "--batch", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        samples = parse_prometheus_text(out)
+        assert samples["repro_queries_total"] == 3.0
+        assert samples["repro_query_latency_seconds_count"] == 3.0
+        assert samples["repro_disk_reads_total"] > 0
+
+
 class TestQueryReplicated:
     def test_single_query_on_replicated_stack(self, dataset_path, capsys):
         code = main(

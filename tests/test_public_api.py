@@ -17,6 +17,9 @@ PACKAGES = [
     "repro.baselines",
     "repro.bench",
     "repro.service",
+    "repro.shard",
+    "repro.faults",
+    "repro.obs",
 ]
 
 
