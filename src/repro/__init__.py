@@ -30,7 +30,12 @@ The library implements activity-trajectory similarity search end to end:
 * a unified observability layer (:mod:`repro.obs`) — per-query span
   trees, a sharded metric registry fed by the serving stack, and
   JSONL/Prometheus exporters — attached to any service via
-  ``obs=Observability.enabled()``.
+  ``obs=Observability.enabled()``;
+* an overload-resilient **open-loop serving front-end**
+  (:mod:`repro.serving`) — an asyncio admission layer over any query
+  service with a bounded queue, SLO-aware load shedding, deadline
+  propagation into the fault policy, seeded Poisson/diurnal/burst
+  arrival processes, and a goodput-centric open-loop load driver.
 
 Quickstart — single query
 -------------------------
@@ -87,6 +92,13 @@ from repro.shard import (
     ShardRouter,
 )
 from repro.obs import Observability
+from repro.serving import (
+    ExpiredError,
+    RejectedError,
+    ServingConfig,
+    ServingFrontend,
+    ShedError,
+)
 from repro.index import GATIndex, InvertedIndex, IRTree, RTree
 from repro.index.gat.index import GATConfig
 from repro.baselines import InvertedListSearch, IRTreeSearch, RTreeSearch
@@ -125,6 +137,11 @@ __all__ = [
     "FaultPolicy",
     "BreakerConfig",
     "Observability",
+    "ServingFrontend",
+    "ServingConfig",
+    "RejectedError",
+    "ShedError",
+    "ExpiredError",
     "InvertedIndex",
     "RTree",
     "IRTree",

@@ -266,6 +266,84 @@ class ExperimentHarness:
             timing.metrics = obs.metrics_snapshot()
         return timing
 
+    def run_open_loop(
+        self,
+        queries: Sequence[Query],
+        k: int,
+        rate_qps: float,
+        duration_s: float,
+        slo_s: float,
+        arrivals: str = "poisson",
+        seed: int = 0,
+        n_shards: int = 2,
+        executor: str = "thread",
+        serving_config=None,
+        fault_policy=None,
+        disk_factory=None,
+        obs=None,
+    ) -> MethodTiming:
+        """Open-loop counterpart of :meth:`run_sharded_batch`: drive a
+        seeded *arrivals* process (mean *rate_qps* for *duration_s*)
+        through a :class:`~repro.serving.ServingFrontend` over a fresh
+        sharded service, cycling *queries*.
+
+        The backend's result cache is disabled — a cycled open-loop
+        workload would otherwise be answered from the cache and never
+        load the backend.  ``extra`` carries the goodput-centric report
+        (``goodput_qps`` / ``offered_qps`` / ``shed_frac`` / latency
+        percentiles); ``total_seconds`` is the offered window.
+        """
+        from repro.serving import (
+            ServingConfig,
+            ServingFrontend,
+            arrival_process,
+            run_open_loop,
+        )
+        from repro.shard import ShardedGATIndex, ShardedQueryService
+
+        config = serving_config if serving_config is not None else ServingConfig()
+        sharded = ShardedGATIndex.build(
+            self.db,
+            n_shards=n_shards,
+            config=self.gat_config,
+            disk_factory=disk_factory,
+        )
+        service_cm = ShardedQueryService(
+            sharded,
+            executor=executor,
+            fault_policy=fault_policy,
+            result_cache_size=0,
+            obs=obs,
+        )
+        with service_cm as service:
+            with ServingFrontend(service, config, obs=obs) as frontend:
+                report = run_open_loop(
+                    frontend,
+                    queries,
+                    arrival_process(arrivals, rate_qps, seed=seed),
+                    duration_s=duration_s,
+                    slo_s=slo_s,
+                    k=k,
+                )
+        row = report.row()
+        timing = MethodTiming(
+            method=f"open-loop/{arrivals}@{rate_qps:g}qps",
+            total_seconds=duration_s,
+            n_queries=report.completed,
+            extra={
+                "goodput_qps": report.goodput_qps,
+                "offered_qps": report.offered_qps,
+                "shed_frac": report.shed_frac,
+                "drop_frac": report.drop_frac,
+                "p50_ms": row["latency_p50_ms"],
+                "p95_ms": row["latency_p95_ms"],
+                "p99_ms": row["latency_p99_ms"],
+            },
+        )
+        if obs is not None:
+            timing.metrics = obs.metrics_snapshot()
+        return timing
+
     def sweep(
         self,
         x_label: str,

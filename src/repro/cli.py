@@ -12,6 +12,10 @@ Four subcommands cover the library's end-to-end workflow:
 * ``metrics``  — serve queries and print a Prometheus text-exposition
   snapshot of the serving metrics;
 * ``sweep``    — run one of the paper's figure sweeps and print the table;
+* ``serve-bench`` — drive a seeded open-loop arrival process (Poisson /
+  diurnal / square-wave burst) through the admission-controlled
+  :class:`~repro.serving.ServingFrontend` and print the goodput /
+  shed / latency report;
 * ``shm-sweep`` — reclaim shared-memory segments orphaned by killed
   store writers (``--dry-run`` to only report).
 
@@ -28,6 +32,8 @@ Usage examples::
         --task-retries 2 -o spans.jsonl
     python -m repro.cli metrics la.jsonl --k 5 --batch 20 --shards 2
     python -m repro.cli sweep la.jsonl --figure k
+    python -m repro.cli serve-bench la.jsonl --rate 50 --duration 5 \
+        --arrivals square --slo-ms 250 --shards 2
     python -m repro.cli shm-sweep --dry-run
 """
 
@@ -54,6 +60,13 @@ from repro.data.presets import dataset_from_preset
 from repro.index.gat.index import GATConfig, GATIndex
 from repro.model.database import TrajectoryDatabase
 from repro.service import QueryRequest, QueryService
+from repro.serving import (
+    ARRIVAL_KINDS,
+    ServingConfig,
+    ServingFrontend,
+    arrival_process,
+    run_open_loop,
+)
 from repro.shard import (
     REPLICA_ROUTERS,
     FaultPolicy,
@@ -117,6 +130,68 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--queries", type=int, default=3, help="queries per point")
     p_sweep.add_argument("--order-sensitive", action="store_true")
     p_sweep.add_argument("--seed", type=int, default=77)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="drive an open-loop arrival process through the admission-"
+        "controlled serving front-end",
+    )
+    _add_query_args(p_serve)
+    p_serve.add_argument(
+        "--rate", type=float, default=50.0, help="mean offered load (QPS)"
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=5.0, help="offered window (seconds)"
+    )
+    p_serve.add_argument(
+        "--arrivals",
+        choices=list(ARRIVAL_KINDS),
+        default="poisson",
+        help="arrival process shape (all seeded and deterministic)",
+    )
+    p_serve.add_argument(
+        "--period",
+        type=float,
+        default=4.0,
+        help="diurnal/square-wave period (seconds)",
+    )
+    p_serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=250.0,
+        help="latency SLO: goodput counts requests answered within this",
+    )
+    p_serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="bounded admission queue; arrivals beyond it are rejected",
+    )
+    p_serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="requests concurrently in the backend (the permit pool)",
+    )
+    p_serve.add_argument(
+        "--no-shed",
+        action="store_true",
+        help="disable SLO-aware shedding (the collapse-prone baseline; "
+        "only the bounded queue protects the service)",
+    )
+    p_serve.add_argument(
+        "--shed-headroom",
+        type=float,
+        default=1.0,
+        help="shed when estimated wait × headroom exceeds the remaining "
+        "budget (>1.0 sheds earlier)",
+    )
+    p_serve.add_argument(
+        "--workload",
+        type=int,
+        default=32,
+        help="distinct workload queries cycled through the arrival stream",
+    )
 
     p_shm = sub.add_parser(
         "shm-sweep",
@@ -285,10 +360,17 @@ def _fault_policy_from_args(args: argparse.Namespace) -> Optional[FaultPolicy]:
     )
 
 
-def _build_query_service(db, args: argparse.Namespace, obs=None):
-    """The serving stack the ``query``/``trace``/``metrics`` subcommands
-    run against: a plain :class:`QueryService` for ``--shards 1``, a
-    sharded fleet otherwise — replicated when ``--replicas > 1``."""
+def _build_query_service(db, args: argparse.Namespace, obs=None, result_cache_size=None):
+    """The serving stack the ``query``/``trace``/``metrics``/
+    ``serve-bench`` subcommands run against: a plain
+    :class:`QueryService` for ``--shards 1``, a sharded fleet otherwise —
+    replicated when ``--replicas > 1``.  ``result_cache_size`` overrides
+    each service's default (``serve-bench`` passes 0: a cycled open-loop
+    workload would otherwise be answered from the result cache and never
+    load the backend)."""
+    cache_kw = {} if result_cache_size is None else {
+        "result_cache_size": result_cache_size
+    }
     gat_config = GATConfig(depth=args.depth, memory_levels=min(6, args.depth))
     if _serving_stack(args)[0]:
         fault_policy = _fault_policy_from_args(args)
@@ -306,6 +388,7 @@ def _build_query_service(db, args: argparse.Namespace, obs=None):
                 max_workers=args.workers,  # None -> the executor's default
                 fault_policy=fault_policy,
                 obs=obs,
+                **cache_kw,
             )
         return ShardedQueryService(
             sharded,
@@ -314,10 +397,12 @@ def _build_query_service(db, args: argparse.Namespace, obs=None):
             max_workers=args.workers,  # None -> the executor's default
             fault_policy=fault_policy,
             obs=obs,
+            **cache_kw,
         )
     engine = GATSearchEngine(GATIndex.build(db, gat_config), kernel=args.kernel)
     return QueryService(
-        engine, max_workers=args.workers if args.workers else 8, obs=obs
+        engine, max_workers=args.workers if args.workers else 8, obs=obs,
+        **cache_kw,
     )
 
 
@@ -533,6 +618,76 @@ def _cmd_shm_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.rate <= 0 or args.duration <= 0:
+        print("--rate and --duration must be > 0", file=sys.stderr)
+        return 2
+    db = load_database_jsonl(args.dataset)
+    # The sharded stack needs a FaultPolicy for per-request deadline
+    # propagation to bite; default one in when no fault flag was given.
+    if (
+        _serving_stack(args)[0]
+        and _fault_policy_from_args(args) is None
+    ):
+        args.task_retries = 2
+    service = _build_query_service(db, args, result_cache_size=0)
+    workload = QueryWorkloadGenerator(db, WorkloadConfig(seed=args.seed))
+    queries = workload.queries(args.workload)
+    slo_s = args.slo_ms / 1000.0
+    deadline_s = (
+        args.deadline_ms / 1000.0 if args.deadline_ms is not None else slo_s
+    )
+    config = ServingConfig(
+        queue_capacity=args.queue_capacity,
+        max_concurrency=args.concurrency,
+        default_deadline_s=deadline_s,
+        shed=not args.no_shed,
+        shed_headroom=args.shed_headroom,
+    )
+    arrivals = arrival_process(
+        args.arrivals, args.rate, seed=args.seed, period_s=args.period
+    )
+    try:
+        with ServingFrontend(service, config) as frontend:
+            report = run_open_loop(
+                frontend,
+                queries,
+                arrivals,
+                duration_s=args.duration,
+                slo_s=slo_s,
+                k=args.k,
+            )
+            row = report.row()
+    finally:
+        service.close()
+    sharded = _serving_stack(args)[0]
+    stats = service.stats()
+    print(
+        f"open-loop {args.arrivals} @ {args.rate:.1f} QPS for "
+        f"{args.duration:.1f}s (SLO {args.slo_ms:.0f} ms, deadline "
+        f"{deadline_s * 1e3:.0f} ms, shed={'off' if args.no_shed else 'on'})"
+    )
+    print(
+        f"  offered {row['offered']} ({row['offered_qps']:.1f}/s): "
+        f"completed {row['completed']} (within SLO "
+        f"{row['completed_within_slo']}), shed {row['shed']}, "
+        f"rejected {row['rejected']}, expired {row['expired']}, "
+        f"failed {row['failed']}"
+    )
+    print(
+        f"  goodput {row['goodput_qps']:.1f}/s  latency p50 "
+        f"{row['latency_p50_ms']:.1f} ms  p95 {row['latency_p95_ms']:.1f} ms  "
+        f"p99 {row['latency_p99_ms']:.1f} ms"
+    )
+    if sharded:
+        print(
+            f"  backend: retries {stats.task_retries}, hedges "
+            f"{stats.task_hedges} (denied {stats.task_hedges_denied}), "
+            f"partials {stats.partial_responses}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -540,6 +695,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "sweep": _cmd_sweep,
+    "serve-bench": _cmd_serve_bench,
     "shm-sweep": _cmd_shm_sweep,
 }
 

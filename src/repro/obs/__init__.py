@@ -99,8 +99,19 @@ class Observability:
         self._partials = reg.counter("repro_partial_responses_total")
         self._retries = reg.counter("repro_task_retries_total")
         self._hedges = reg.counter("repro_task_hedges_total")
+        self._hedges_denied = reg.counter("repro_task_hedges_denied_total")
         self._cache_hits = reg.counter("repro_result_cache_hits_total")
         self._cache_lookups = reg.counter("repro_result_cache_lookups_total")
+        # Admission-control surface (fed by repro.serving's front-end).
+        self._queue_depth = reg.gauge("repro_admission_queue_depth")
+        self._queue_wait = reg.histogram("repro_admission_queue_wait_seconds")
+        self._admission_outcomes = {
+            "rejected": reg.counter("repro_admission_rejected_total"),
+            "shed": reg.counter("repro_admission_shed_total"),
+            "expired": reg.counter("repro_admission_expired_total"),
+            "completed": reg.counter("repro_admission_completed_total"),
+            "failed": reg.counter("repro_admission_failed_total"),
+        }
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -126,16 +137,35 @@ class Observability:
         if not response.complete:
             self._partials.inc()
 
-    def observe_fanout(self, retries: int, hedges: int) -> None:
+    def observe_fanout(self, retries: int, hedges: int, hedges_denied: int = 0) -> None:
         if retries:
             self._retries.inc(retries)
         if hedges:
             self._hedges.inc(hedges)
+        if hedges_denied:
+            self._hedges_denied.inc(hedges_denied)
 
     def observe_cache(self, hit: bool) -> None:
         self._cache_lookups.inc()
         if hit:
             self._cache_hits.inc()
+
+    # -- admission-control hooks (called by repro.serving) --------------
+    def observe_queue_depth(self, depth: int) -> None:
+        """Current admission-queue depth (waiting + executing requests)."""
+        self._queue_depth.set(depth)
+
+    def observe_queue_wait(self, wait_s: float) -> None:
+        """One admitted request's time from admission to dispatch."""
+        self._queue_wait.observe(wait_s)
+
+    def observe_admission(self, outcome: str) -> None:
+        """Count one terminal admission outcome (``rejected`` /``shed`` /
+        ``expired`` / ``completed`` / ``failed``); unknown outcome names
+        are ignored rather than raising on a hot path."""
+        counter = self._admission_outcomes.get(outcome)
+        if counter is not None:
+            counter.inc()
 
     # -- tracer binding -------------------------------------------------
     def bind_disk(self, disk) -> None:

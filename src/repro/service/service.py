@@ -49,12 +49,23 @@ LATENCY_WINDOW = 10_000
 
 @dataclass(frozen=True, slots=True)
 class QueryRequest:
-    """One unit of service work: a query plus its execution options."""
+    """One unit of service work: a query plus its execution options.
+
+    ``deadline_s`` is the caller's *remaining* latency budget at the
+    moment the request reaches the service (seconds of ``time.monotonic``
+    from now, not a wall-clock instant).  A sharded service running under
+    a :class:`~repro.shard.resilience.FaultPolicy` tightens its fan-out
+    deadline to it, so backend retries/hedges never outlive the caller;
+    everywhere else it is advisory metadata.  It deliberately does not
+    participate in the result-cache identity (:func:`request_cache_key`)
+    — the answer to a query does not depend on how patient its caller is.
+    """
 
     query: Query
     k: int = 10
     order_sensitive: bool = False
     explain: bool = False
+    deadline_s: Optional[float] = None
 
 
 @dataclass(slots=True)
@@ -118,6 +129,9 @@ class ServiceStats:
     #: shard coverage.
     task_retries: int = 0
     task_hedges: int = 0
+    #: Hedges that came due but were denied by the global
+    #: :attr:`~repro.shard.resilience.FaultPolicy.hedge_budget`.
+    task_hedges_denied: int = 0
     partial_responses: int = 0
     #: Circuit-breaker activity (replicated services only; always zero
     #: elsewhere): replica ejections, restores to the healthy pool, and
@@ -174,7 +188,9 @@ def request_cache_key(request: QueryRequest) -> tuple:
     """The query signature used by result caches: the (hashable, frozen)
     query points plus every option that changes the answer.  Shared by
     :class:`QueryService` and the sharded service so both layers cache —
-    and invalidate — under identical identities."""
+    and invalidate — under identical identities.  ``deadline_s`` is
+    deliberately excluded: it changes how long we are willing to wait,
+    never what the answer is."""
     return (
         request.query.points,
         request.k,

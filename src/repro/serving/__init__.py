@@ -1,0 +1,69 @@
+"""repro.serving — the overload-resilient open-loop serving front-end.
+
+Closed-loop batches (``search_many``) cannot overload the stack; open
+production traffic can.  This package adds the missing tier:
+
+* :class:`ServingFrontend` — an asyncio admission layer over any query
+  service: bounded queue (backpressure), concurrency limiter sized to
+  the backend, SLO-aware load shedding, deadline propagation into the
+  backend's :class:`~repro.shard.resilience.FaultPolicy`;
+* :mod:`~repro.serving.admission` — the typed refusals
+  (:class:`RejectedError` / :class:`ShedError` / :class:`ExpiredError`),
+  the :class:`ServingConfig` knobs, and the service-time EWMA behind the
+  shedding estimate;
+* :mod:`~repro.serving.arrivals` — seeded Poisson / diurnal /
+  square-wave arrival processes;
+* :mod:`~repro.serving.loadgen` — the open-loop driver and its
+  goodput-centric :class:`OpenLoopReport`.
+
+>>> from repro.serving import ServingFrontend, ServingConfig, run_open_loop
+>>> from repro.serving import arrival_process
+>>> frontend = ServingFrontend(service, ServingConfig(max_concurrency=8))  # doctest: +SKIP
+>>> report = run_open_loop(                                                # doctest: +SKIP
+...     frontend, queries, arrival_process("poisson", 50.0, seed=7),
+...     duration_s=5.0, slo_s=0.25, deadline_s=0.25)
+>>> report.goodput_qps                                                     # doctest: +SKIP
+"""
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionTicket,
+    ExpiredError,
+    RejectedError,
+    ServiceTimeEWMA,
+    ServingConfig,
+    ShedError,
+)
+from repro.serving.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    DiurnalArrivals,
+    PoissonArrivals,
+    SquareWaveArrivals,
+    arrival_process,
+)
+from repro.serving.frontend import FrontendStats, ServingFrontend
+from repro.serving.loadgen import OpenLoopReport, RequestOutcome, run_open_loop
+
+__all__ = [
+    "ServingFrontend",
+    "FrontendStats",
+    "ServingConfig",
+    "AdmissionController",
+    "AdmissionTicket",
+    "ServiceTimeEWMA",
+    "AdmissionError",
+    "RejectedError",
+    "ShedError",
+    "ExpiredError",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "SquareWaveArrivals",
+    "ARRIVAL_KINDS",
+    "arrival_process",
+    "OpenLoopReport",
+    "RequestOutcome",
+    "run_open_loop",
+]

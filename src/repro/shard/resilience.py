@@ -21,7 +21,11 @@ event loop then waits on whatever is in flight and reacts to time:
   :attr:`FaultPolicy.hedge_after_s` until enough samples exist), a single
   backup attempt is launched on a re-routed lease.  First completion
   wins; the loser's result is discarded (result offers dedup by
-  trajectory id, so a straggler finishing later is harmless).
+  trajectory id, so a straggler finishing later is harmless).  An
+  optional global budget (:attr:`FaultPolicy.hedge_budget`) caps live
+  hedges as a fraction of in-flight attempts so hedging cuts tails
+  without amplifying overload; denied hedges are counted
+  (:attr:`FanoutOutcome.hedges_denied`).
 
 Exactness: retried and hedged attempts run the *same* frozen task against
 byte-identical replicas, and the shared top-k collector dedups offers by
@@ -90,6 +94,14 @@ class FaultPolicy:
     hedge_after_s: Optional[float] = None
     hedge_quantile: float = 0.95
     hedge_min_samples: int = 20
+    #: Global hedge budget: a hedge may launch only while the number of
+    #: live hedge attempts (across the whole supervised batch) stays
+    #: under ``hedge_budget × live attempts``.  A denied hedge consumes
+    #: the shard's one hedge opportunity and is counted in
+    #: :attr:`FanoutOutcome.hedges_denied` — under overload hedging must
+    #: amplify tail-cutting, not the overload itself.  ``None`` leaves
+    #: hedging unbudgeted; ``0.0`` denies every hedge.
+    hedge_budget: Optional[float] = None
     allow_partial: bool = True
 
     def __post_init__(self) -> None:
@@ -105,6 +117,8 @@ class FaultPolicy:
             raise ValueError("hedge_quantile must be in (0, 1]")
         if self.hedge_min_samples < 1:
             raise ValueError("hedge_min_samples must be >= 1")
+        if self.hedge_budget is not None and self.hedge_budget < 0:
+            raise ValueError("hedge_budget must be >= 0 (or None)")
 
 
 class TaskLatencyTracker:
@@ -145,6 +159,7 @@ class FanoutOutcome:
     failures: Dict[int, BaseException] = field(default_factory=dict)
     retries: int = 0
     hedges: int = 0
+    hedges_denied: int = 0
 
 
 @dataclass
@@ -228,17 +243,37 @@ class FanoutSupervisor:
         return policy.hedge_after_s
 
     # ------------------------------------------------------------------
-    def run(self, fanouts: Sequence[Sequence[ShardTask]]) -> List[FanoutOutcome]:
+    def run(
+        self,
+        fanouts: Sequence[Sequence[ShardTask]],
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[FanoutOutcome]:
         """Supervise one batch: ``fanouts[i]`` is query *i*'s task list.
-        Returns one :class:`FanoutOutcome` per query, in order."""
+        Returns one :class:`FanoutOutcome` per query, in order.
+
+        ``deadlines[i]`` optionally tightens query *i*'s budget below the
+        policy's — the serving front-end propagates each caller's
+        *remaining* deadline here so backend retries and hedges can never
+        outlive the caller.  The effective deadline is the minimum of the
+        policy's and the override; overrides can only shrink the budget
+        (an override larger than ``policy.deadline_s`` is clamped to it).
+        All deadline arithmetic is anchored to one ``time.monotonic()``
+        reading — wall-clock jumps cannot expire (or extend) a budget.
+        """
         policy = self._policy
         outcomes = [FanoutOutcome() for _ in fanouts]
         states: List[_ShardState] = []
         by_query: List[List[_ShardState]] = []
         start = time.monotonic()
+        effective: List[Optional[float]] = []
+        for qi in range(len(fanouts)):
+            caps = [policy.deadline_s]
+            if deadlines is not None:
+                caps.append(deadlines[qi])
+            caps = [c for c in caps if c is not None]
+            effective.append(min(caps) if caps else None)
         deadline_at = [
-            start + policy.deadline_s if policy.deadline_s is not None else math.inf
-            for _ in fanouts
+            start + d if d is not None else math.inf for d in effective
         ]
         attempts: Dict[Future, _Attempt] = {}
 
@@ -316,7 +351,7 @@ class FanoutSupervisor:
                         outcomes[qi].failures[state.task.shard_id] = (
                             state.last_error
                             if state.last_error is not None
-                            else DeadlineExceeded(state.task, policy.deadline_s)
+                            else DeadlineExceeded(state.task, effective[qi])
                         )
             for future in [f for f, a in attempts.items() if a.state.resolved]:
                 attempts.pop(future).state.live -= 1
@@ -331,6 +366,12 @@ class FanoutSupervisor:
                     outcomes[state.qi].retries += 1
                     launch(state)
             # Fire due hedges (one backup per shard, never hedge a hedge).
+            # The global budget caps live hedge attempts at
+            # hedge_budget × live attempts; a denied hedge permanently
+            # consumes the shard's hedge opportunity (its timer leaves
+            # the wait set — no busy-looping on a perpetually-due hedge)
+            # so under saturation hedging stops adding load instead of
+            # doubling it.
             hedge_delay = self._hedge_delay()
             if hedge_delay is not None:
                 for attempt in list(attempts.values()):
@@ -339,6 +380,14 @@ class FanoutSupervisor:
                         continue
                     if now - attempt.started >= hedge_delay:
                         state.hedged = True
+                        if policy.hedge_budget is not None:
+                            live_hedges = sum(
+                                1 for a in attempts.values() if a.hedge
+                            )
+                            allowed = policy.hedge_budget * len(attempts)
+                            if live_hedges + 1 > allowed:
+                                outcomes[state.qi].hedges_denied += 1
+                                continue
                         outcomes[state.qi].hedges += 1
                         launch(state, hedge=True)
             # Next timer: earliest deadline / retry / hedge trigger.

@@ -242,6 +242,7 @@ class ShardedQueryService:
         self._task_latency = TaskLatencyTracker()
         self._task_retries = 0
         self._task_hedges = 0
+        self._task_hedges_denied = 0
         self._partial_responses = 0
         self._hicl_base: CacheStats = index.hicl_cache_stats()
         self._apl_base: Optional[CacheStats] = self._apl_cache_stats()
@@ -606,7 +607,11 @@ class ShardedQueryService:
                         if tracing:
                             self._end_trace_root(groups[offset], response)
                 else:
-                    outcomes = self._supervised_fanout(fanouts, submitted)
+                    outcomes = self._supervised_fanout(
+                        fanouts,
+                        submitted,
+                        deadlines=[requests[i].deadline_s for i in pending],
+                    )
                     for outcome, i, fanout in zip(outcomes, pending, fanouts):
                         if tracing:
                             self._adopt_worker_spans(
@@ -680,9 +685,15 @@ class ShardedQueryService:
         root.end()
 
     def _supervised_fanout(
-        self, fanouts: List[List[ShardTask]], submitted: List[ShardTask]
+        self,
+        fanouts: List[List[ShardTask]],
+        submitted: List[ShardTask],
+        deadlines: Optional[List[Optional[float]]] = None,
     ) -> List[FanoutOutcome]:
-        """Run the batch's fan-outs under the service's fault policy."""
+        """Run the batch's fan-outs under the service's fault policy.
+        ``deadlines[i]`` optionally tightens fan-out *i*'s budget below
+        ``fault_policy.deadline_s`` (per-request remaining budgets from
+        the serving front-end)."""
         executor = self._executor
         in_process = not isinstance(executor, ProcessShardExecutor)
         if in_process:
@@ -709,14 +720,16 @@ class ShardedQueryService:
             on_success=on_success,
             on_failure=on_failure,
         )
-        outcomes = supervisor.run(fanouts)
+        outcomes = supervisor.run(fanouts, deadlines=deadlines)
         retries = sum(o.retries for o in outcomes)
         hedges = sum(o.hedges for o in outcomes)
+        hedges_denied = sum(o.hedges_denied for o in outcomes)
         with self._lock:
             self._task_retries += retries
             self._task_hedges += hedges
+            self._task_hedges_denied += hedges_denied
         if self.obs is not None:
-            self.obs.observe_fanout(retries, hedges)
+            self.obs.observe_fanout(retries, hedges, hedges_denied)
         return outcomes
 
     def _assemble(
@@ -857,6 +870,7 @@ class ShardedQueryService:
             result_lookups = self._result_lookups
             task_retries = self._task_retries
             task_hedges = self._task_hedges
+            task_hedges_denied = self._task_hedges_denied
             partial_responses = self._partial_responses
         stats = self._metrics.fill(ServiceStats())
         stats.hicl_cache_hit_rate = hicl_rate
@@ -865,6 +879,7 @@ class ShardedQueryService:
         stats.result_cache_lookups = result_lookups
         stats.task_retries = task_retries
         stats.task_hedges = task_hedges
+        stats.task_hedges_denied = task_hedges_denied
         stats.partial_responses = partial_responses
         return stats
 
@@ -876,6 +891,7 @@ class ShardedQueryService:
             self._result_lookups = 0
             self._task_retries = 0
             self._task_hedges = 0
+            self._task_hedges_denied = 0
             self._partial_responses = 0
             self._hicl_base = self._hicl_cache_stats()
             self._apl_base = self._apl_cache_stats()

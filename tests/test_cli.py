@@ -263,3 +263,49 @@ class TestQueryReplicated:
 
     def test_bad_replicas_rejected(self, dataset_path):
         assert main(["query", str(dataset_path), "--replicas", "0"]) == 2
+
+
+class TestServeBench:
+    def test_open_loop_smoke_single_service(self, dataset_path, capsys):
+        code = main(
+            [
+                "serve-bench", str(dataset_path),
+                "--rate", "30",
+                "--duration", "1.0",
+                "--arrivals", "poisson",
+                "--slo-ms", "400",
+                "--concurrency", "4",
+                "--workload", "8",
+                "--k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop poisson @ 30.0 QPS" in out
+        assert "offered" in out and "goodput" in out
+        assert "backend:" not in out  # single-node stack, no fan-out stats
+
+    def test_open_loop_smoke_sharded_with_shedding(self, dataset_path, capsys):
+        code = main(
+            [
+                "serve-bench", str(dataset_path),
+                "--rate", "120",
+                "--duration", "1.0",
+                "--arrivals", "square",
+                "--period", "0.5",
+                "--slo-ms", "100",
+                "--queue-capacity", "8",
+                "--concurrency", "2",
+                "--shards", "2",
+                "--workload", "8",
+                "--k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop square @ 120.0 QPS" in out
+        assert "shed=on" in out
+        assert "backend: retries" in out  # sharded stack surfaces fan-out stats
+
+    def test_bad_rate_rejected(self, dataset_path):
+        assert main(["serve-bench", str(dataset_path), "--rate", "0"]) == 2

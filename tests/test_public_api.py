@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.shard",
     "repro.faults",
     "repro.obs",
+    "repro.serving",
 ]
 
 
